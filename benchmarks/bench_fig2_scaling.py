@@ -1,0 +1,92 @@
+"""Figure 2 — pretraining throughput vs DDP worker count.
+
+The paper measures aggregate samples/second from 16 to 512 ranks on the
+Endeavour cluster and finds linear scaling (negligible allreduce overhead),
+annotating each point with the time per epoch over the 2M-sample dataset.
+
+The reproduction measures the *single-worker* training rate live (forward +
+backward + AdamW step on the symmetry task), then projects scale-out
+through the calibrated cluster performance model (HDR200 ring allreduce,
+16 workers per dual-socket node — Sec. 4.1's configuration).  Asserted
+shape: linear growth (R^2 > 0.99 against a straight line), sub-5% deviation
+from ideal scaling at 512 ranks, and minutes-scale epochs at the top end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import encoder_config, print_header
+from repro.core import OptimizerConfig, PretrainConfig, pretrain_symmetry
+from repro.distributed import ENDEAVOUR, ThroughputModel
+from repro.distributed.perf_model import linear_fit_r2
+from repro.utils import human_count
+
+PAPER_DATASET_SIZE = 2_000_000
+WORLD_SIZES = [16, 32, 64, 128, 256, 512]
+BATCH_PER_WORKER = 32  # the paper's per-rank batch
+
+
+def measure_single_worker_rate():
+    """Live samples/s of one training worker on the symmetry task."""
+    cfg = PretrainConfig(
+        encoder=encoder_config(),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=2),
+        train_samples=128,
+        val_samples=16,
+        world_size=1,
+        batch_per_worker=16,
+        max_epochs=3,
+        head_hidden_dim=32,
+        head_blocks=2,
+        seed=2,
+    )
+    result = pretrain_symmetry(cfg)
+    params = result.task.num_parameters()
+    return result.throughput.samples_per_second, params
+
+
+def run_fig2():
+    rate, params = measure_single_worker_rate()
+    gradient_bytes = params * 8  # float64 gradients
+    model = ThroughputModel(
+        per_worker_samples_per_s=rate,
+        batch_per_worker=BATCH_PER_WORKER,
+        gradient_bytes=gradient_bytes,
+        cluster=ENDEAVOUR,
+    )
+    rows = model.sweep(WORLD_SIZES, PAPER_DATASET_SIZE)
+
+    print_header(
+        "Figure 2 — throughput scaling (measured single-worker rate "
+        f"{rate:.1f} samples/s, {human_count(params)} params -> "
+        f"{gradient_bytes / 1e6:.1f} MB gradient payload)"
+    )
+    print(f"{'workers':>8} {'nodes':>6} {'samples/s':>12} {'epoch (min)':>12} {'efficiency':>11}")
+    for r in rows:
+        print(
+            f"{r['workers']:>8d} {r['nodes']:>6d} {r['samples_per_s']:>12.0f} "
+            f"{r['epoch_minutes']:>12.2f} {r['efficiency']:>11.4f}"
+        )
+    rates = [r["samples_per_s"] for r in rows]
+    r2 = linear_fit_r2(WORLD_SIZES, rates)
+    print(f"\nlinear fit R^2 = {r2:.6f} (paper overlays a linear fit)")
+    print("paper shape: linear scaling 16 -> 512 ranks, minutes-scale epochs")
+    return rows, r2, model
+
+
+class TestFig2Scaling:
+    def test_fig2_throughput_scaling(self, benchmark):
+        rows, r2, model = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+        # Linear growth, as in the paper's fit.
+        assert r2 > 0.99
+        # Communication overhead negligible on HDR200 (paper: "negligible").
+        assert model.scaling_efficiency(512) > 0.95
+        # Monotone increase in aggregate throughput.
+        rates = [r["samples_per_s"] for r in rows]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        # The right ordinate of Fig. 2: full 2M-sample epochs complete in
+        # minutes at scale.
+        assert rows[-1]["epoch_minutes"] < 60.0
+        assert rows[-1]["epoch_minutes"] < rows[0]["epoch_minutes"] / 16

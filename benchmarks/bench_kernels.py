@@ -1,0 +1,103 @@
+"""Micro-kernel benchmarks for the substrate's hot paths.
+
+These are classic pytest-benchmark measurements (many rounds) of the
+operations that dominate training time: the sparse segment reductions that
+replace DGL's kernels, radius-graph construction, and the E(n)-GNN
+forward/backward.  They exist to catch performance regressions in the
+kernels the Fig. 2 throughput measurement rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.data import collate_graphs
+from repro.data.transforms import StructureToGraph, radius_graph
+from repro.datasets import SymmetryPointCloudDataset
+from repro.models import EGNN
+from repro.optim import AdamW
+from repro.tasks import MultiClassClassificationTask
+
+
+@pytest.fixture(scope="module")
+def edge_data():
+    rng = np.random.default_rng(0)
+    n_nodes, n_edges, dim = 2_000, 20_000, 64
+    return {
+        "x": rng.normal(size=(n_edges, dim)),
+        "seg": rng.integers(0, n_nodes, size=n_edges),
+        "n": n_nodes,
+    }
+
+
+class TestSegmentKernels:
+    def test_segment_sum_forward(self, benchmark, edge_data):
+        x = Tensor(edge_data["x"])
+        out = benchmark(lambda: F.segment_sum(x, edge_data["seg"], edge_data["n"]))
+        assert out.shape == (edge_data["n"], 64)
+
+    def test_segment_sum_backward(self, benchmark, edge_data):
+        def step():
+            x = Tensor(edge_data["x"], requires_grad=True)
+            F.segment_sum(x, edge_data["seg"], edge_data["n"]).sum().backward()
+            return x.grad
+
+        grad = benchmark(step)
+        assert grad.shape == edge_data["x"].shape
+
+    def test_segment_softmax(self, benchmark, edge_data):
+        x = Tensor(edge_data["x"][:, 0])
+        out = benchmark(lambda: F.segment_softmax(x, edge_data["seg"], edge_data["n"]))
+        assert out.shape == (len(edge_data["seg"]),)
+
+    def test_index_select(self, benchmark, edge_data):
+        table = Tensor(np.random.default_rng(1).normal(size=(edge_data["n"], 64)))
+        out = benchmark(lambda: F.index_select(table, edge_data["seg"]))
+        assert out.shape == (len(edge_data["seg"]), 64)
+
+
+class TestGraphConstruction:
+    def test_radius_graph_1000_points(self, benchmark):
+        points = np.random.default_rng(2).normal(size=(1_000, 3)) * 5
+        src, dst = benchmark(lambda: radius_graph(points, cutoff=2.0))
+        assert len(src) == len(dst)
+
+
+def _make_training_step():
+    rng = np.random.default_rng(3)
+    ds = SymmetryPointCloudDataset(16, seed=5, group_names=["C2", "C4", "D2", "Oh"])
+    tf = StructureToGraph(cutoff=2.5)
+    batch = collate_graphs([tf(ds[i]) for i in range(16)])
+    enc = EGNN(hidden_dim=32, num_layers=3, position_dim=12, num_species=4, rng=rng)
+    task = MultiClassClassificationTask(enc, num_classes=4, hidden_dim=32, num_blocks=2, rng=rng)
+    opt = AdamW(task.parameters(), lr=1e-3)
+    return task, batch, opt
+
+
+class TestModelThroughput:
+    def test_egnn_forward(self, benchmark):
+        task, batch, _ = _make_training_step()
+        out = benchmark(lambda: task.encoder(batch).graph_embedding)
+        assert out.shape[0] == batch.num_graphs
+
+    def test_egnn_training_step(self, benchmark):
+        task, batch, opt = _make_training_step()
+
+        def step():
+            opt.zero_grad()
+            loss, _ = task.training_step(batch)
+            loss.backward()
+            opt.step()
+            return float(loss.data)
+
+        value = benchmark(step)
+        assert np.isfinite(value)
+
+    def test_adamw_step_only(self, benchmark):
+        task, batch, opt = _make_training_step()
+        loss, _ = task.training_step(batch)
+        loss.backward()
+        benchmark(opt.step)

@@ -1,0 +1,82 @@
+"""Table 1 — multi-task, multi-dataset fine-tuning: pretrained vs scratch.
+
+The paper's joint task trains one shared encoder against five objectives —
+Materials Project band gap, Fermi energy (zeta), formation energy and
+stability classification, plus Carolina formation energy — and finds that
+pretraining wins decisively on the three MP regression targets while the
+two remaining metrics stay comparable (from-scratch slightly ahead):
+
+    metric                paper pretrained   paper scratch
+    band gap (eV)              1.27               4.80
+    zeta (eV)                  0.76               3.86
+    E_form MP (eV/atom)        0.83               3.54
+    stability (BCE)            0.42               0.40
+    E_form CMD (eV/atom)       0.14               0.10
+
+The reproduction runs the same composition (dataset-scoped heads, shared
+encoder, six-block-capacity heads scaled down, the DDP lr-scaling rule, raw
+physical-unit losses) and asserts the winner pattern and rough factors.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import PAPER_TABLE1, print_header, table1_runs
+from repro.core.workflows import TABLE1_METRICS
+
+LABELS = {
+    "band_gap_mae": "Band gap (eV)",
+    "fermi_mae": "zeta (eV)",
+    "mp_eform_mae": "E_form MP (eV/atom)",
+    "stability_bce": "Stability (BCE)",
+    "cmd_eform_mae": "E_form CMD (eV/atom)",
+}
+
+
+def run_table1():
+    pretrained, scratch = table1_runs()
+    print_header("Table 1 — multi-task multi-dataset fine-tuning")
+    print(
+        f"{'metric':<22} {'pre (ours)':>10} {'scr (ours)':>10}"
+        f" {'pre (paper)':>12} {'scr (paper)':>12}"
+    )
+    for key in TABLE1_METRICS:
+        p_ours = pretrained.final_metrics[key]
+        s_ours = scratch.final_metrics[key]
+        p_pap, s_pap = PAPER_TABLE1[key]
+        print(
+            f"{LABELS[key]:<22} {p_ours:>10.3f} {s_ours:>10.3f}"
+            f" {p_pap:>12.2f} {s_pap:>12.2f}"
+        )
+    print(
+        "\npaper shape: pretraining wins the three MP regression targets by "
+        "large factors; stability and CMD E_form comparable (scratch ahead)"
+    )
+    return pretrained, scratch
+
+
+class TestTable1MultiTask:
+    def test_table1_multitask_winner_pattern(self, benchmark):
+        pretrained, scratch = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+        pre, scr = pretrained.final_metrics, scratch.final_metrics
+
+        # Pretraining wins all three MP regression targets ...
+        for key in ("band_gap_mae", "fermi_mae", "mp_eform_mae"):
+            assert pre[key] < scr[key], key
+        # ... and band gap by a large factor, as in the paper (3.8x there).
+        assert scr["band_gap_mae"] / pre["band_gap_mae"] > 1.5
+        # The scratch model is not merely behind — it fails to learn the MP
+        # regressions (band-gap error worse than a mean predictor ~1 eV).
+        assert scr["band_gap_mae"] > 1.0
+
+        # The two remaining metrics: comparable, from-scratch slightly ahead.
+        assert scr["stability_bce"] < pre["stability_bce"]
+        assert scr["cmd_eform_mae"] < pre["cmd_eform_mae"]
+        # "Comparable in magnitude": within a factor ~2, not the 2-4x gaps
+        # of the regression columns.
+        assert pre["stability_bce"] / scr["stability_bce"] < 2.5
+        assert pre["cmd_eform_mae"] / scr["cmd_eform_mae"] < 2.5
+
+        # CMD stays easy for both arms (the narrow-distribution dataset):
+        # both errors sit far below every MP regression error.
+        assert pre["cmd_eform_mae"] < 0.5
+        assert scr["cmd_eform_mae"] < 0.5

@@ -1,0 +1,116 @@
+"""Shared machinery for the paper-reproduction benches.
+
+Every bench runs once (``benchmark.pedantic(..., rounds=1)``), prints the
+table/series the paper reports with paper-expected values alongside, and
+asserts the qualitative *shape* (who wins, rough factors, crossovers).
+Expensive artefacts — the pretrained encoder, the Table-1 training runs —
+are cached at module level so the Fig. 7 bench reuses the Table-1 runs
+within one pytest session.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core import (
+    EncoderConfig,
+    FinetuneConfig,
+    MultiTaskConfig,
+    OptimizerConfig,
+    cached_pretrained_encoder,
+    train_band_gap,
+    train_multitask,
+    transfer_pretrain_recipe,
+)
+
+#: Encoder geometry used by every downstream bench (CPU-scale stand-in for
+#: the paper's 256-wide model).
+BENCH_ENCODER = dict(hidden_dim=32, num_layers=3, position_dim=12)
+
+
+def encoder_config() -> EncoderConfig:
+    return EncoderConfig(**BENCH_ENCODER)
+
+
+@functools.lru_cache(maxsize=1)
+def pretrained_state_cached() -> Tuple:
+    """The shared pretrained encoder (disk-cached across sessions)."""
+    state = cached_pretrained_encoder(transfer_pretrain_recipe())
+    # lru_cache needs a hashable return; wrap the dict.
+    return (state,)
+
+
+def pretrained_state() -> Dict[str, np.ndarray]:
+    return pretrained_state_cached()[0]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5 configuration (single-task band gap)
+# --------------------------------------------------------------------------- #
+FIG5_SEEDS = (5, 11, 21)
+
+
+def fig5_config(seed: int) -> FinetuneConfig:
+    # Short warmup: the scratch arm reaches its (DDP-scaled) full rate
+    # almost immediately and pays for it with early turbulence, while the
+    # pretrained arm's organized features let its head convert the same
+    # rate into an immediate error drop — the paper's early-phase contrast.
+    return FinetuneConfig(
+        encoder=encoder_config(),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=2, gamma=0.9),
+        train_samples=192,
+        val_samples=48,
+        batch_size=16,
+        max_epochs=30,
+        world_size=16,
+        head_hidden_dim=32,
+        head_blocks=2,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 / Fig. 7 configuration (multi-task multi-dataset)
+# --------------------------------------------------------------------------- #
+def table1_config() -> MultiTaskConfig:
+    return MultiTaskConfig(
+        encoder=encoder_config(),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=8, gamma=0.8),
+        mp_samples=160,
+        carolina_samples=80,
+        batch_size=16,
+        max_epochs=20,
+        world_size=16,
+        head_hidden_dim=32,
+        head_blocks=3,
+        seed=13,
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def table1_runs() -> Tuple:
+    """(pretrained_result, scratch_result), shared by Table 1 and Fig. 7."""
+    cfg = table1_config()
+    scratch = train_multitask(cfg)
+    pretrained = train_multitask(cfg, pretrained_state=pretrained_state())
+    return (pretrained, scratch)
+
+
+#: Paper Table 1 values: metric -> (pretrained, from_scratch).
+PAPER_TABLE1 = {
+    "band_gap_mae": (1.27, 4.80),
+    "fermi_mae": (0.76, 3.86),
+    "mp_eform_mae": (0.83, 3.54),
+    "stability_bce": (0.42, 0.40),
+    "cmd_eform_mae": (0.14, 0.10),
+}
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

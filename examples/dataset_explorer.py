@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Semantic dataset exploration (the paper's Fig. 4) with an ASCII UMAP.
+
+Embeds samples from every supported dataset with an E(n)-GNN, projects to
+2-D with the from-scratch UMAP implementation, renders the map as ASCII,
+and prints the quantitative versions of the paper's three observations.
+
+Run:  python examples/dataset_explorer.py
+"""
+
+import numpy as np
+
+from repro.core import EncoderConfig, explore_datasets, transfer_pretrain_recipe
+from repro.core import cached_pretrained_encoder
+from repro.core.pipeline import build_encoder_from_config
+
+WIDTH, HEIGHT = 72, 24
+GLYPHS = {"oc20": "o", "oc22": "x", "materials_project": "M", "carolina": "c", "lips": "L"}
+
+
+def ascii_scatter(points: np.ndarray, labels: np.ndarray, names) -> str:
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-9)
+    canvas = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for (x, y), lbl in zip(points, labels):
+        col = int((x - lo[0]) / span[0] * (WIDTH - 1))
+        row = int((y - lo[1]) / span[1] * (HEIGHT - 1))
+        canvas[HEIGHT - 1 - row][col] = GLYPHS[names[lbl]]
+    border = "+" + "-" * WIDTH + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in canvas)
+    return f"{border}\n{body}\n{border}"
+
+
+def main() -> None:
+    recipe = transfer_pretrain_recipe()
+    print("loading / training the pretrained encoder (cached after first run) ...")
+    state = cached_pretrained_encoder(recipe)
+    encoder = build_encoder_from_config(recipe.encoder, rng=np.random.default_rng(0))
+    encoder.load_state_dict(state)
+
+    print("embedding 40 structures from each of the five datasets ...")
+    result = explore_datasets(encoder, samples_per_dataset=40, umap_epochs=150)
+
+    legend = "  ".join(f"{g} = {name}" for name, g in GLYPHS.items())
+    print(f"\nUMAP projection ({legend}):\n")
+    print(ascii_scatter(result.projection, result.labels, result.names))
+
+    sil = result.by_name(result.silhouettes)
+    spread = result.by_name(result.spreads)
+    print(f"\n{'dataset':>18} {'silhouette':>11} {'spread':>8} {'self-cohesion':>14}")
+    for i, name in enumerate(result.names):
+        print(
+            f"{name:>18} {sil[name]:>11.3f} {spread[name]:>8.3f} "
+            f"{result.overlap[i, i]:>14.3f}"
+        )
+    print(
+        "\nobservations (cf. paper Sec. 5.3): LiPS forms the clearest "
+        "independent cluster; the OCP datasets share slab motifs; the "
+        "Materials Project surrogate spans the broadest structural variety "
+        "among the bulk datasets."
+    )
+
+
+if __name__ == "__main__":
+    main()

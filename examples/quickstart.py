@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: train an E(n)-GNN band-gap regressor in ~1 minute on CPU.
+
+Walks the toolkit's Fig.-1 pipeline end to end:
+
+    dataset  ->  transform  ->  task (encoder + head)  ->  trainer
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import seed_everything
+from repro.data import DataLoader, train_val_split
+from repro.data.transforms import StructureToGraph
+from repro.data.transforms.features import TargetNormalizer
+from repro.datasets import MaterialsProjectSurrogate
+from repro.models import EGNN
+from repro.optim import AdamW, WarmupExponential
+from repro.tasks import ScalarRegressionTask
+from repro.training import Trainer, TrainerConfig
+
+
+def main() -> None:
+    rng = seed_everything(42)
+
+    # 1. Dataset: a procedurally generated Materials-Project-style source
+    #    with surrogate-DFT labels.  Samples are lazy & deterministic;
+    #    materialize() caches them for repeated epochs.
+    dataset = MaterialsProjectSurrogate(num_samples=220, seed=1).materialize()
+    train_ds, val_ds = train_val_split(dataset, val_fraction=0.2, rng=rng)
+    print(f"dataset: {len(train_ds)} train / {len(val_ds)} val structures")
+
+    # 2. Transform: structures -> radius graphs (5 A cutoff).
+    transform = StructureToGraph(cutoff=4.5)
+
+    # 3. Task: E(n)-GNN encoder + a residual-MLP output head regressing the
+    #    band gap against z-scored targets (metrics report physical eV).
+    normalizer = TargetNormalizer(["band_gap"]).fit(
+        train_ds[i] for i in range(len(train_ds))
+    )
+    encoder = EGNN(hidden_dim=32, num_layers=3, position_dim=12, rng=rng)
+    task = ScalarRegressionTask(
+        encoder, target="band_gap", hidden_dim=32, num_blocks=2,
+        normalizer=normalizer, rng=rng,
+    )
+    print(f"model: {task.num_parameters():,} parameters")
+
+    # 4. Train.  Loaders yield lists of samples; the trainer's strategy
+    #    collates (this is what lets the same loop drive simulated DDP).
+    train_loader = DataLoader(
+        train_ds, batch_size=16, shuffle=True, rng=np.random.default_rng(7),
+        collate_fn=list, transform=transform,
+    )
+    val_loader = DataLoader(val_ds, batch_size=32, collate_fn=list, transform=transform)
+
+    optimizer = AdamW(task.parameters(), lr=3e-3, weight_decay=1e-4)
+    scheduler = WarmupExponential(optimizer, warmup_epochs=3, gamma=0.9, target_lr=3e-3)
+    trainer = Trainer(TrainerConfig(max_epochs=12, log_every_n_steps=5))
+    history = trainer.fit(task, train_loader, val_loader, optimizer, scheduler)
+
+    steps, curve = history.series("val", "band_gap_mae")
+    print("\nvalidation MAE (eV) by epoch:")
+    for epoch, mae in enumerate(curve, start=1):
+        print(f"  epoch {epoch:2d}: {mae:.3f}")
+    baseline = normalizer.scale_of("band_gap") * 0.8  # ~MAE of a mean predictor
+    print(f"\nfinal MAE {curve[-1]:.3f} eV vs mean-predictor baseline ~{baseline:.3f} eV")
+    assert curve[-1] < curve[0], "training should improve validation MAE"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Analysis tooling: UMAP-lite projection and dataset-exploration metrics.
+
+Implements the paper's Sec. 5.3 pipeline: embed samples from every dataset
+with a (pretrained) encoder, project with UMAP, and quantify the
+qualitative observations — dataset overlap, cluster isolation, structural
+spread — so the Fig. 4 claims become assertable numbers.
+"""
+
+from repro.analysis.umap_lite import UMAPLite, fit_ab_params, smooth_knn_weights
+from repro.analysis.embedding import embed_dataset, embed_datasets
+from repro.analysis.cluster_metrics import (
+    silhouette_by_label,
+    neighbor_overlap_matrix,
+    cluster_spread,
+)
+
+__all__ = [
+    "UMAPLite",
+    "fit_ab_params",
+    "smooth_knn_weights",
+    "embed_dataset",
+    "embed_datasets",
+    "silhouette_by_label",
+    "neighbor_overlap_matrix",
+    "cluster_spread",
+]

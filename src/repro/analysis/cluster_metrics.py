@@ -1,0 +1,95 @@
+"""Quantitative versions of the Fig. 4 observations.
+
+The paper reads three things off its UMAP: datasets share structural
+motifs (inter-dataset overlap), the OC20/OC22 pair overlaps most, LiPS is
+an isolated cluster, and the Materials Project covers the broadest variety.
+These metrics turn each into a number:
+
+* :func:`neighbor_overlap_matrix` — how often a point's nearest neighbours
+  belong to another dataset (high off-diagonal = shared motifs).
+* :func:`silhouette_by_label` — cluster isolation per dataset (LiPS should
+  dominate).
+* :func:`cluster_spread` — mean within-dataset dispersion (MP should
+  dominate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy.spatial import cKDTree
+from scipy.spatial.distance import cdist
+
+
+def neighbor_overlap_matrix(
+    points: np.ndarray, labels: np.ndarray, k: int = 10
+) -> np.ndarray:
+    """M[i, j] = mean fraction of label-i points' kNN that carry label j.
+
+    Rows sum to 1; the diagonal is self-cohesion, off-diagonals measure how
+    interleaved two datasets are in the embedding space.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    n_labels = labels.max() + 1
+    k_eff = min(k, len(points) - 1)
+    tree = cKDTree(points)
+    _, idx = tree.query(points, k=k_eff + 1)
+    neigh_labels = labels[idx[:, 1:]]
+    matrix = np.zeros((n_labels, n_labels))
+    for lbl in range(n_labels):
+        mask = labels == lbl
+        if not mask.any():
+            continue
+        counts = np.stack(
+            [(neigh_labels[mask] == j).mean(axis=1) for j in range(n_labels)], axis=1
+        )
+        matrix[lbl] = counts.mean(axis=0)
+    return matrix
+
+
+def silhouette_by_label(points: np.ndarray, labels: np.ndarray) -> Dict[int, float]:
+    """Mean silhouette coefficient per label (computed exactly, O(n^2)).
+
+    s(p) = (b - a) / max(a, b) with a = mean intra-cluster distance and
+    b = smallest mean distance to another cluster.  Isolated, tight
+    clusters approach 1.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    uniq = np.unique(labels)
+    dists = cdist(points, points)
+    result: Dict[int, float] = {}
+    for lbl in uniq:
+        mask = labels == lbl
+        n_in = int(mask.sum())
+        if n_in < 2:
+            result[int(lbl)] = 0.0
+            continue
+        intra = dists[np.ix_(mask, mask)].sum(axis=1) / (n_in - 1)
+        inter = np.full(n_in, np.inf)
+        for other in uniq:
+            if other == lbl:
+                continue
+            omask = labels == other
+            if not omask.any():
+                continue
+            mean_d = dists[np.ix_(mask, omask)].mean(axis=1)
+            inter = np.minimum(inter, mean_d)
+        sil = (inter - intra) / np.maximum(intra, inter)
+        result[int(lbl)] = float(sil.mean())
+    return result
+
+
+def cluster_spread(points: np.ndarray, labels: np.ndarray) -> Dict[int, float]:
+    """RMS distance to the label centroid — 'variety of structures'."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    result: Dict[int, float] = {}
+    for lbl in np.unique(labels):
+        mask = labels == lbl
+        sub = points[mask]
+        centroid = sub.mean(axis=0, keepdims=True)
+        result[int(lbl)] = float(np.sqrt(((sub - centroid) ** 2).sum(axis=1).mean()))
+    return result

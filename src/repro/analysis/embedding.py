@@ -1,0 +1,68 @@
+"""Embedding extraction: run datasets through an encoder, collect vectors."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.data.batching import collate_graphs
+from repro.data.dataset import Dataset
+from repro.models.encoder import Encoder
+
+
+def embed_dataset(
+    encoder: Encoder,
+    dataset: Dataset,
+    transform: Callable,
+    batch_size: int = 32,
+    max_samples: Optional[int] = None,
+    collate_fn: Callable = collate_graphs,
+) -> np.ndarray:
+    """Graph embeddings for (up to ``max_samples`` of) a dataset.
+
+    Mirrors the paper's Fig. 4 procedure: a fixed random subset of each
+    dataset is pushed through the pretrained encoder in evaluation mode.
+    """
+    encoder.eval()
+    n = len(dataset) if max_samples is None else min(max_samples, len(dataset))
+    rows: List[np.ndarray] = []
+    batch_samples = []
+    with no_grad():
+        for i in range(n):
+            batch_samples.append(transform(dataset[i]))
+            if len(batch_samples) == batch_size or i == n - 1:
+                batch = collate_fn(batch_samples)
+                out = encoder(batch)
+                rows.append(out.graph_embedding.data.copy())
+                batch_samples = []
+    encoder.train()
+    return np.concatenate(rows, axis=0)
+
+
+def embed_datasets(
+    encoder: Encoder,
+    datasets: Sequence[Dataset],
+    transform: Callable,
+    batch_size: int = 32,
+    max_samples_per_dataset: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """Stack embeddings from several datasets.
+
+    Returns (embeddings, integer labels, dataset names); the labels index
+    into names and drive the cluster metrics / UMAP colouring.
+    """
+    all_rows, labels, names = [], [], []
+    for k, dataset in enumerate(datasets):
+        emb = embed_dataset(
+            encoder,
+            dataset,
+            transform,
+            batch_size=batch_size,
+            max_samples=max_samples_per_dataset,
+        )
+        all_rows.append(emb)
+        labels.append(np.full(len(emb), k, dtype=np.int64))
+        names.append(dataset.name)
+    return np.concatenate(all_rows, axis=0), np.concatenate(labels), names

@@ -1,0 +1,208 @@
+"""UMAP, implemented from scratch (McInnes et al., 2018).
+
+A faithful-but-compact reimplementation of the algorithm the paper uses for
+Fig. 4, built only on numpy/scipy:
+
+1. k-nearest-neighbour graph (``scipy.spatial.cKDTree``).
+2. Smooth-kNN kernel: per-point bandwidths found by binary search so each
+   point's effective neighbour count is log2(k).
+3. Fuzzy simplicial set symmetrization ``P + P^T - P * P^T``.
+4. Spectral initialization from the normalized graph Laplacian.
+5. SGD layout with the (a, b) low-dimensional kernel fitted from
+   ``min_dist``/``spread`` and negative sampling.
+
+The defaults accept the paper's parameters (n_neighbors=200,
+min_dist=0.05, euclidean).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.optimize
+import scipy.sparse
+import scipy.sparse.linalg
+from scipy.spatial import cKDTree
+
+SMOOTH_K_TOLERANCE = 1e-5
+MIN_K_DIST_SCALE = 1e-3
+
+
+def fit_ab_params(spread: float = 1.0, min_dist: float = 0.1) -> Tuple[float, float]:
+    """Fit the low-dimensional kernel 1/(1 + a d^(2b)) to the target curve.
+
+    The target is 1 for d < min_dist and exp(-(d - min_dist)/spread)
+    beyond — the same least-squares fit umap-learn performs at setup.
+    """
+    xv = np.linspace(0.0, spread * 3.0, 300)
+    yv = np.where(xv < min_dist, 1.0, np.exp(-(xv - min_dist) / spread))
+
+    def curve(x, a, b):
+        return 1.0 / (1.0 + a * x ** (2.0 * b))
+
+    (a, b), _ = scipy.optimize.curve_fit(curve, xv, yv, p0=(1.0, 1.0), maxfev=5000)
+    return float(a), float(b)
+
+
+def smooth_knn_weights(
+    knn_dists: np.ndarray, n_iter: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-point (rho, sigma) of the smooth-kNN kernel.
+
+    rho_i is the nearest-neighbour distance; sigma_i solves
+    ``sum_j exp(-max(d_ij - rho_i, 0) / sigma_i) = log2(k)`` by bisection.
+    """
+    n, k = knn_dists.shape
+    target = math.log2(k)
+    rho = knn_dists[:, 0].copy()
+    sigma = np.ones(n)
+    for i in range(n):
+        lo, hi = 0.0, np.inf
+        mid = 1.0
+        d = knn_dists[i] - rho[i]
+        d[d < 0] = 0.0
+        for _ in range(n_iter):
+            psum = float(np.exp(-d / mid).sum())
+            if abs(psum - target) < SMOOTH_K_TOLERANCE:
+                break
+            if psum > target:
+                hi = mid
+                mid = (lo + hi) / 2.0
+            else:
+                lo = mid
+                mid = mid * 2.0 if hi == np.inf else (lo + hi) / 2.0
+        sigma[i] = mid
+        mean_d = float(knn_dists[i].mean())
+        if rho[i] > 0:
+            sigma[i] = max(sigma[i], MIN_K_DIST_SCALE * mean_d)
+    return rho, sigma
+
+
+class UMAPLite:
+    """Uniform Manifold Approximation and Projection, compact edition.
+
+    Parameters mirror umap-learn's; ``n_epochs`` trades layout quality for
+    runtime (the reproduction benches use a few hundred points, where ~150
+    epochs converge).
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 15,
+        n_components: int = 2,
+        min_dist: float = 0.1,
+        spread: float = 1.0,
+        n_epochs: int = 150,
+        learning_rate: float = 1.0,
+        negative_sample_rate: int = 5,
+        seed: int = 0,
+    ):
+        if n_neighbors < 2:
+            raise ValueError("n_neighbors must be >= 2")
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.n_components = n_components
+        self.min_dist = min_dist
+        self.spread = spread
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.negative_sample_rate = negative_sample_rate
+        self.seed = seed
+        self.embedding_: Optional[np.ndarray] = None
+        self.graph_: Optional[scipy.sparse.coo_matrix] = None
+
+    # ------------------------------------------------------------------ #
+    def _fuzzy_simplicial_set(self, data: np.ndarray) -> scipy.sparse.coo_matrix:
+        n = len(data)
+        k = min(self.n_neighbors, n - 1)
+        tree = cKDTree(data)
+        dists, idx = tree.query(data, k=k + 1)
+        dists, idx = dists[:, 1:], idx[:, 1:]  # drop self
+        rho, sigma = smooth_knn_weights(dists)
+        weights = np.exp(-np.maximum(dists - rho[:, None], 0.0) / sigma[:, None])
+        rows = np.repeat(np.arange(n), k)
+        cols = idx.ravel()
+        p = scipy.sparse.coo_matrix(
+            (weights.ravel(), (rows, cols)), shape=(n, n)
+        ).tocsr()
+        transpose = p.T.tocsr()
+        prod = p.multiply(transpose)
+        fuzzy = p + transpose - prod
+        return fuzzy.tocoo()
+
+    def _spectral_init(self, graph: scipy.sparse.coo_matrix, rng: np.random.Generator) -> np.ndarray:
+        n = graph.shape[0]
+        try:
+            adj = graph.tocsr()
+            deg = np.asarray(adj.sum(axis=1)).ravel()
+            deg[deg == 0] = 1.0
+            d_inv_sqrt = scipy.sparse.diags(1.0 / np.sqrt(deg))
+            lap = scipy.sparse.identity(n) - d_inv_sqrt @ adj @ d_inv_sqrt
+            k = self.n_components + 1
+            # Fixed ARPACK start vector keeps the whole projection
+            # deterministic for a given seed.
+            v0 = np.full(n, 1.0 / np.sqrt(n))
+            vals, vecs = scipy.sparse.linalg.eigsh(lap, k=k, sigma=0.0, which="LM", v0=v0)
+            order = np.argsort(vals)
+            init = vecs[:, order[1 : self.n_components + 1]]
+            scale = 10.0 / max(np.abs(init).max(), 1e-12)
+            return init * scale + rng.normal(0, 1e-4, size=(n, self.n_components))
+        except Exception:
+            # ARPACK can fail on tiny/disconnected graphs; fall back to noise.
+            return rng.normal(0.0, 1.0, size=(n, self.n_components))
+
+    # ------------------------------------------------------------------ #
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be 2-D (n_samples, n_features)")
+        n = len(data)
+        if n <= self.n_components:
+            raise ValueError("need more samples than output dimensions")
+        rng = np.random.default_rng(self.seed)
+        graph = self._fuzzy_simplicial_set(data)
+        self.graph_ = graph
+        emb = self._spectral_init(graph, rng)
+
+        a, b = fit_ab_params(self.spread, self.min_dist)
+        # Per-edge application schedule, as in umap-learn: stronger edges
+        # are moved more often.
+        weights = graph.data
+        # Drop edges whose membership strength is negligible — they would
+        # never be scheduled anyway and their weight ratio overflows.
+        mask = weights > weights.max() / 1e4
+        heads, tails, weights = graph.row[mask], graph.col[mask], weights[mask]
+        epochs_per_sample = np.maximum(weights.max() / weights, 1.0)
+
+        lr0 = self.learning_rate
+        next_epoch = epochs_per_sample.copy()
+        for epoch in range(1, self.n_epochs + 1):
+            alpha = lr0 * (1.0 - epoch / self.n_epochs)
+            active = next_epoch <= epoch
+            if not active.any():
+                continue
+            h, t = heads[active], tails[active]
+            next_epoch[active] += epochs_per_sample[active]
+
+            # Attractive step along each active edge.
+            delta = emb[h] - emb[t]
+            d2 = (delta * delta).sum(axis=1)
+            coef = (-2.0 * a * b * d2 ** (b - 1.0)) / (1.0 + a * d2**b)
+            coef = np.clip(coef[:, None] * delta, -4.0, 4.0)
+            np.add.at(emb, h, alpha * coef)
+            np.add.at(emb, t, -alpha * coef)
+
+            # Repulsive steps against random points.
+            for _ in range(self.negative_sample_rate):
+                neg = rng.integers(0, n, size=len(h))
+                delta = emb[h] - emb[neg]
+                d2 = (delta * delta).sum(axis=1) + 1e-3
+                coef = (2.0 * b) / (d2 * (1.0 + a * d2**b))
+                coef = np.clip(coef[:, None] * delta, -4.0, 4.0)
+                np.add.at(emb, h, alpha * coef)
+
+        self.embedding_ = emb
+        return emb

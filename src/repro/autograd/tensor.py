@@ -1,0 +1,503 @@
+"""The ``Tensor`` class: a numpy array with a gradient tape.
+
+Design notes
+------------
+* Values are stored as ``numpy.ndarray`` of ``float64``.  Double precision
+  keeps finite-difference gradient checks tight and costs little on CPU for
+  the model sizes used in this reproduction.
+* The tape is implicit: every differentiable op records its parents and a
+  closure that accumulates gradients into them.  ``backward()`` walks the
+  graph in reverse topological order.
+* Broadcasting follows numpy semantics; ``_unbroadcast`` folds gradients back
+  onto the original operand shapes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float, np.floating, np.integer]
+TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently active."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Used by validation loops and embedding extraction, exactly as
+    ``torch.no_grad`` would be.
+    """
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: TensorLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        When true, operations involving this tensor are recorded on the tape
+        and ``backward()`` will populate ``.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    __array_priority__ = 100.0  # make numpy defer to our reflected operators
+
+    def __init__(self, data: TensorLike, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "the truth value of a Tensor is ambiguous; compare .data explicitly"
+        )
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Tape machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a result tensor, recording the op if the tape is live."""
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to 1.0, which requires ``self`` to be a
+            scalar (matching the usual loss-backward idiom).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Reverse topological order via iterative DFS (avoids recursion limits
+        # on deep graphs such as long MD rollouts).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free tape references early; keeps long training loops O(1).
+                node._backward = None
+                node._parents = ()
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: TensorLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else None
+        other_a = _as_array(other)
+        out_data = self.data + other_a
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g)
+            if other_t is not None:
+                other_t._accumulate(g)
+
+        return Tensor._make(out_data, (self, other_t) if other_t is not None else (self,), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(-g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else None
+        other_a = _as_array(other)
+        out_data = self.data - other_a
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g)
+            if other_t is not None:
+                other_t._accumulate(-g)
+
+        return Tensor._make(out_data, (self, other_t) if other_t is not None else (self,), backward)
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        other_a = _as_array(other)
+        out_data = other_a - self.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(-g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else None
+        other_a = _as_array(other)
+        out_data = self.data * other_a
+        self_data = self.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * other_a)
+            if other_t is not None:
+                other_t._accumulate(g * self_data)
+
+        return Tensor._make(out_data, (self, other_t) if other_t is not None else (self,), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else None
+        other_a = _as_array(other)
+        out_data = self.data / other_a
+        self_data = self.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g / other_a)
+            if other_t is not None:
+                other_t._accumulate(-g * self_data / (other_a * other_a))
+
+        return Tensor._make(out_data, (self, other_t) if other_t is not None else (self,), backward)
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        other_a = _as_array(other)
+        out_data = other_a / self.data
+        self_data = self.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(-g * other_a / (self_data * self_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp(log(x) * y)")
+        exponent = float(exponent)
+        out_data = self.data**exponent
+        self_data = self.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * exponent * self_data ** (exponent - 1.0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: TensorLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else None
+        other_a = _as_array(other)
+        out_data = self.data @ other_a
+        self_data = self.data
+
+        def backward(g: np.ndarray) -> None:
+            if self_data.ndim == 1 and other_a.ndim == 1:
+                # Dot product: g is scalar.
+                self._accumulate(g * other_a)
+                if other_t is not None:
+                    other_t._accumulate(g * self_data)
+                return
+            # Promote 1-D operands to matrices, matching numpy matmul rules,
+            # then apply d(AB) = (g B^T, A^T g).  ``_accumulate`` unbroadcasts
+            # batched gradients back onto the original shapes.
+            a = self_data[None, :] if self_data.ndim == 1 else self_data
+            b = other_a[:, None] if other_a.ndim == 1 else other_a
+            g2 = g
+            if self_data.ndim == 1:
+                g2 = np.expand_dims(g2, -2)
+            if other_a.ndim == 1:
+                g2 = np.expand_dims(g2, -1)
+            grad_a = g2 @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ g2
+            if self_data.ndim == 1:
+                grad_a = grad_a.reshape(grad_a.shape[:-2] + (grad_a.shape[-1],))
+            if other_a.ndim == 1:
+                grad_b = grad_b.reshape(grad_b.shape[:-1])
+            self._accumulate(grad_a)
+            if other_t is not None:
+                other_t._accumulate(grad_b)
+
+        return Tensor._make(out_data, (self, other_t) if other_t is not None else (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (non-differentiable, return numpy bool arrays)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other: TensorLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: TensorLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: TensorLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: TensorLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------ #
+    # Shape ops
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes) if axes else self.data.T
+
+        def backward(g: np.ndarray) -> None:
+            if axes is None:
+                self._accumulate(g.T)
+            else:
+                inverse = np.argsort(axes)
+                self._accumulate(g.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        original = self.data.shape
+        out_data = self.data.squeeze(axis)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+        original = self.data.shape
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        shape = self.data.shape
+
+        def backward(g: np.ndarray) -> None:
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, index, g)
+            self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray) -> None:
+            if axis is None:
+                self._accumulate(np.broadcast_to(g, shape))
+                return
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            g_expanded = g
+            if not keepdims:
+                for ax in sorted(a % len(shape) for a in axes):
+                    g_expanded = np.expand_dims(g_expanded, ax)
+            self._accumulate(np.broadcast_to(g_expanded, shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        self_data = self.data
+
+        def backward(g: np.ndarray) -> None:
+            if axis is None:
+                mask = (self_data == out_data).astype(np.float64)
+                mask /= mask.sum()
+                self._accumulate(mask * g)
+                return
+            out_keep = self_data.max(axis=axis, keepdims=True)
+            mask = (self_data == out_keep).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            self._accumulate(mask * g_expanded)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # Convenience wrappers so model code reads naturally; the heavy lifting
+    # lives in repro.autograd.functional.
+    def exp(self) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.sqrt(self)
+
+    def tanh(self) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.tanh(self)
+
+    def abs(self) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.abs(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.clip(self, low, high)
+
+
+def tensor(data: TensorLike, requires_grad: bool = False) -> Tensor:
+    """Factory mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)

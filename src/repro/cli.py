@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Thin argparse front-end over :mod:`repro.core`'s workflows, so the paper's
+experiments can be driven without writing Python:
+
+    python -m repro.cli pretrain --epochs 10 --world-size 8
+    python -m repro.cli finetune --pretrained --epochs 20
+    python -m repro.cli multitask --epochs 15
+    python -m repro.cli explore --samples 30
+    python -m repro.cli scaling --workers 16 512
+    python -m repro.cli datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import (
+    EncoderConfig,
+    FinetuneConfig,
+    MultiTaskConfig,
+    OptimizerConfig,
+    PretrainConfig,
+    cached_pretrained_encoder,
+    explore_datasets,
+    pretrain_symmetry,
+    train_band_gap,
+    train_multitask,
+    transfer_pretrain_recipe,
+)
+from repro.core.pipeline import build_encoder_from_config
+from repro.core.workflows import TABLE1_METRICS
+
+
+def _encoder_config(args) -> EncoderConfig:
+    return EncoderConfig(
+        name=args.encoder,
+        hidden_dim=args.hidden_dim,
+        num_layers=args.layers,
+        position_dim=max(args.hidden_dim // 4, 4),
+    )
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--encoder", default="egnn", choices=["egnn", "gaanet", "schnet"])
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--layers", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--lr", type=float, default=1e-3)
+    parser.add_argument("--epochs", type=int, default=10)
+
+
+def cmd_pretrain(args) -> int:
+    """Run symmetry-group pretraining and print its convergence summary."""
+    cfg = PretrainConfig(
+        encoder=_encoder_config(args),
+        optimizer=OptimizerConfig(base_lr=args.lr, warmup_epochs=args.warmup),
+        train_samples=args.samples,
+        val_samples=max(args.samples // 4, 16),
+        world_size=args.world_size,
+        batch_per_worker=args.batch_per_worker,
+        max_epochs=args.epochs,
+        head_hidden_dim=args.hidden_dim,
+        head_blocks=2,
+        seed=args.seed,
+    )
+    print(
+        f"pretraining: N={cfg.world_size}, B_eff={cfg.effective_batch}, "
+        f"lr={cfg.optimizer.base_lr * cfg.world_size:g}"
+    )
+    result = pretrain_symmetry(cfg)
+    _, ce = result.history.series("val", "ce")
+    _, acc = result.history.series("val", "acc")
+    print(f"val CE  {ce[0]:.3f} -> {ce[-1]:.3f}")
+    print(f"val acc {acc[0]:.3f} -> {acc[-1]:.3f}")
+    print(f"throughput {result.throughput.samples_per_second:.0f} samples/s, "
+          f"spikes {result.spikes.spike_count}")
+    return 0
+
+
+def cmd_finetune(args) -> int:
+    """Fine-tune a property regressor (optionally from the cached encoder)."""
+    cfg = FinetuneConfig(
+        encoder=_encoder_config(args),
+        optimizer=OptimizerConfig(base_lr=args.lr, warmup_epochs=args.warmup),
+        target=args.target,
+        train_samples=args.samples,
+        val_samples=max(args.samples // 4, 16),
+        max_epochs=args.epochs,
+        world_size=args.world_size,
+        head_hidden_dim=args.hidden_dim,
+        head_blocks=2,
+        seed=args.seed,
+    )
+    state = None
+    if args.pretrained:
+        print("loading cached pretrained encoder (training it if needed) ...")
+        recipe = transfer_pretrain_recipe()
+        recipe.encoder = cfg.encoder
+        state = cached_pretrained_encoder(recipe)
+    result = train_band_gap(cfg, pretrained_state=state)
+    print(f"target: {cfg.target}")
+    for epoch, mae in enumerate(result.curve_mae, start=1):
+        print(f"  epoch {epoch:3d}: val MAE {mae:.4f}")
+    print(f"final {result.final_mae:.4f}, best {result.best_mae:.4f}")
+    return 0
+
+
+def cmd_multitask(args) -> int:
+    """Run the Table-1 multi-task multi-dataset training."""
+    cfg = MultiTaskConfig(
+        encoder=_encoder_config(args),
+        optimizer=OptimizerConfig(base_lr=args.lr, warmup_epochs=args.warmup),
+        mp_samples=args.samples,
+        carolina_samples=args.samples // 2,
+        max_epochs=args.epochs,
+        world_size=args.world_size,
+        head_hidden_dim=args.hidden_dim,
+        head_blocks=3,
+        seed=args.seed,
+    )
+    state = None
+    if args.pretrained:
+        recipe = transfer_pretrain_recipe()
+        recipe.encoder = cfg.encoder
+        state = cached_pretrained_encoder(recipe)
+    result = train_multitask(cfg, pretrained_state=state)
+    print("final validation metrics:")
+    for key in TABLE1_METRICS:
+        if key in result.final_metrics:
+            print(f"  {key:18s} {result.final_metrics[key]:.4f}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    """Run the Fig.-4 dataset exploration and print cluster metrics."""
+    recipe = transfer_pretrain_recipe()
+    state = cached_pretrained_encoder(recipe)
+    encoder = build_encoder_from_config(recipe.encoder, rng=np.random.default_rng(0))
+    encoder.load_state_dict(state)
+    result = explore_datasets(encoder, samples_per_dataset=args.samples)
+    sil = result.by_name(result.silhouettes)
+    spread = result.by_name(result.spreads)
+    print(f"{'dataset':>18} {'silhouette':>11} {'spread':>8}")
+    for name in result.names:
+        print(f"{name:>18} {sil[name]:>11.3f} {spread[name]:>8.3f}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    """Project DDP throughput over a worker range (Fig. 2)."""
+    from repro.distributed import ENDEAVOUR, ThroughputModel
+
+    model = ThroughputModel(
+        per_worker_samples_per_s=args.rate,
+        batch_per_worker=32,
+        gradient_bytes=args.params * 8,
+        cluster=ENDEAVOUR,
+    )
+    lo, hi = args.workers
+    sizes = []
+    n = lo
+    while n <= hi:
+        sizes.append(n)
+        n *= 2
+    print(f"{'workers':>8} {'samples/s':>12} {'epoch (min)':>12} {'eff':>8}")
+    for row in model.sweep(sizes, dataset_size=args.dataset_size):
+        print(f"{row['workers']:>8d} {row['samples_per_s']:>12.0f} "
+              f"{row['epoch_minutes']:>12.2f} {row['efficiency']:>8.4f}")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    """List registered datasets with a sample summary."""
+    from repro.datasets import available_datasets, build_dataset
+
+    for name in available_datasets():
+        ds = build_dataset(name, num_samples=2, seed=0)
+        sample = ds[0]
+        targets = ", ".join(sorted(sample.targets))
+        print(f"{name:>18}: {sample.num_atoms:3d} atoms/sample, targets: {targets}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Open MatSci ML Toolkit reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pretrain", help="symmetry-group pretraining (Sec. 5.2)")
+    _add_model_args(p)
+    p.add_argument("--samples", type=int, default=256)
+    p.add_argument("--world-size", type=int, default=8)
+    p.add_argument("--batch-per-worker", type=int, default=2)
+    p.add_argument("--warmup", type=int, default=8)
+    p.set_defaults(fn=cmd_pretrain)
+
+    p = sub.add_parser("finetune", help="single-task fine-tuning (Fig. 5)")
+    _add_model_args(p)
+    p.add_argument("--samples", type=int, default=160)
+    p.add_argument("--target", default="band_gap",
+                   choices=["band_gap", "fermi_energy", "formation_energy"])
+    p.add_argument("--world-size", type=int, default=16)
+    p.add_argument("--warmup", type=int, default=2)
+    p.add_argument("--pretrained", action="store_true")
+    p.set_defaults(fn=cmd_finetune)
+
+    p = sub.add_parser("multitask", help="multi-task multi-dataset training (Table 1)")
+    _add_model_args(p)
+    p.add_argument("--samples", type=int, default=160)
+    p.add_argument("--world-size", type=int, default=16)
+    p.add_argument("--warmup", type=int, default=8)
+    p.add_argument("--pretrained", action="store_true")
+    p.set_defaults(fn=cmd_multitask)
+
+    p = sub.add_parser("explore", help="UMAP dataset exploration (Fig. 4)")
+    p.add_argument("--samples", type=int, default=30)
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("scaling", help="throughput projection (Fig. 2)")
+    p.add_argument("--workers", type=int, nargs=2, default=[16, 512],
+                   metavar=("LO", "HI"))
+    p.add_argument("--rate", type=float, default=300.0,
+                   help="single-worker samples/s")
+    p.add_argument("--params", type=int, default=30_000)
+    p.add_argument("--dataset-size", type=int, default=2_000_000)
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("datasets", help="list available datasets")
+    p.set_defaults(fn=cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Pipeline plumbing shared by the workflows."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import EncoderConfig
+from repro.data.dataset import Dataset
+from repro.data.loaders import DataLoader
+from repro.data.transforms import StructureToGraph
+from repro.models import build_encoder
+from repro.models.encoder import Encoder
+
+
+def default_transform(cutoff: float = 4.5) -> Callable:
+    """The canonical structure -> radius-graph transform."""
+    return StructureToGraph(cutoff=cutoff)
+
+
+def make_train_loader(
+    dataset: Dataset,
+    batch_size: int,
+    transform: Callable,
+    seed: int = 0,
+    drop_last: bool = True,
+) -> DataLoader:
+    """Shuffling loader that yields *lists of samples* (strategy collates)."""
+    return DataLoader(
+        dataset,
+        batch_size=batch_size,
+        shuffle=True,
+        rng=np.random.default_rng((seed, 101)),
+        collate_fn=list,
+        transform=transform,
+        drop_last=drop_last,
+    )
+
+
+def make_val_loader(
+    dataset: Dataset,
+    batch_size: int,
+    transform: Callable,
+) -> DataLoader:
+    """Deterministic validation loader (lists of samples)."""
+    return DataLoader(
+        dataset,
+        batch_size=batch_size,
+        collate_fn=list,
+        transform=transform,
+    )
+
+
+def build_encoder_from_config(
+    config: EncoderConfig, rng: Optional[np.random.Generator] = None
+) -> Encoder:
+    """Instantiate the configured encoder through the registry."""
+    return build_encoder(config.name, rng=rng, **config.build_kwargs())

@@ -1,0 +1,32 @@
+"""Data pipeline: structures, datasets, loaders, batching, transforms.
+
+Mirrors the paper's Fig. 1 data path: a *dataset* yields
+:class:`repro.data.structures.Structure` samples; a chain of *transforms*
+converts them between representations (point cloud <-> graph) and injects
+inductive biases; a *collator* batches them for the encoder.
+"""
+
+from repro.data.structures import Structure, GraphSample, PointCloudSample, GraphBatch
+from repro.data.dataset import Dataset, InMemoryDataset, ConcatDataset, Subset
+from repro.data.splits import train_val_split, train_val_test_split
+from repro.data.batching import collate_graphs, collate_point_clouds
+from repro.data.loaders import DataLoader, DistributedSampler, SequentialSampler, RandomSampler
+
+__all__ = [
+    "Structure",
+    "GraphSample",
+    "PointCloudSample",
+    "GraphBatch",
+    "Dataset",
+    "InMemoryDataset",
+    "ConcatDataset",
+    "Subset",
+    "train_val_split",
+    "train_val_test_split",
+    "collate_graphs",
+    "collate_point_clouds",
+    "DataLoader",
+    "DistributedSampler",
+    "SequentialSampler",
+    "RandomSampler",
+]

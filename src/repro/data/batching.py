@@ -1,0 +1,111 @@
+"""Collation: disjoint-union graph batching and point-cloud batching.
+
+Graph batching follows the standard GNN recipe: node arrays are
+concatenated, edge indices offset by each graph's node base, and a
+``node_graph`` segment-id vector records graph membership for pooling.
+Point clouds are batched the same way minus edges (the encoder imposes its
+own structure, or none).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.structures import GraphBatch, GraphSample, PointCloudSample
+
+
+def _stack_targets(samples: Sequence) -> Dict[str, np.ndarray]:
+    """Stack per-sample targets; missing keys are filled with NaN.
+
+    NaN-filling is what lets a multi-dataset batch carry heterogeneous
+    labels: the multi-task module masks each head's loss on NaN targets.
+    """
+    keys: List[str] = []
+    for s in samples:
+        for k in s.targets:
+            if k not in keys:
+                keys.append(k)
+    out: Dict[str, np.ndarray] = {}
+    for key in keys:
+        rows = []
+        for s in samples:
+            value = s.targets.get(key)
+            if value is None:
+                rows.append(np.nan)
+            else:
+                rows.append(np.asarray(value, dtype=np.float64))
+        # Scalars stack into (batch,), arrays (e.g. forces) into object rows
+        # only if ragged — force targets are per-atom so we concatenate.
+        shapes = {np.shape(r) for r in rows if not np.isscalar(r) or not np.isnan(r)}
+        try:
+            out[key] = np.array(rows, dtype=np.float64)
+        except ValueError:
+            out[key] = np.concatenate([np.atleast_1d(r) for r in rows])
+    return out
+
+
+def collate_graphs(samples: Sequence[GraphSample]) -> GraphBatch:
+    """Merge graph samples into one disjoint-union batch."""
+    if not samples:
+        raise ValueError("cannot collate an empty batch")
+    positions = np.concatenate([s.positions for s in samples], axis=0)
+    species = np.concatenate([s.species for s in samples], axis=0)
+    node_offsets = np.cumsum([0] + [s.num_nodes for s in samples][:-1])
+    edge_src = np.concatenate(
+        [s.edge_src + off for s, off in zip(samples, node_offsets)]
+    ).astype(np.int64)
+    edge_dst = np.concatenate(
+        [s.edge_dst + off for s, off in zip(samples, node_offsets)]
+    ).astype(np.int64)
+    node_graph = np.concatenate(
+        [np.full(s.num_nodes, i, dtype=np.int64) for i, s in enumerate(samples)]
+    )
+    edge_attr = None
+    if all(s.edge_attr is not None for s in samples):
+        edge_attr = np.concatenate([s.edge_attr for s in samples], axis=0)
+    metadata = {"num_nodes_per_graph": np.array([s.num_nodes for s in samples])}
+    # Preserve sample provenance when present (multi-dataset batches).
+    if all("dataset" in s.metadata for s in samples):
+        metadata["dataset"] = np.array([s.metadata["dataset"] for s in samples])
+    return GraphBatch(
+        positions=positions,
+        species=species,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        node_graph=node_graph,
+        num_graphs=len(samples),
+        edge_attr=edge_attr,
+        targets=_stack_targets(samples),
+        metadata=metadata,
+    )
+
+
+def collate_point_clouds(samples: Sequence[PointCloudSample]) -> GraphBatch:
+    """Batch point clouds as edgeless graphs.
+
+    Encoders that need connectivity (E(n)-GNN) apply a radius-graph
+    transform first; attention encoders (GAANet) consume the node sets
+    directly via ``node_graph``.
+    """
+    if not samples:
+        raise ValueError("cannot collate an empty batch")
+    positions = np.concatenate([s.positions for s in samples], axis=0)
+    species = np.concatenate([s.species for s in samples], axis=0)
+    node_graph = np.concatenate(
+        [np.full(s.num_points, i, dtype=np.int64) for i, s in enumerate(samples)]
+    )
+    metadata = {"num_nodes_per_graph": np.array([s.num_points for s in samples])}
+    if all("dataset" in s.metadata for s in samples):
+        metadata["dataset"] = np.array([s.metadata["dataset"] for s in samples])
+    return GraphBatch(
+        positions=positions,
+        species=species,
+        edge_src=np.zeros(0, dtype=np.int64),
+        edge_dst=np.zeros(0, dtype=np.int64),
+        node_graph=node_graph,
+        num_graphs=len(samples),
+        targets=_stack_targets(samples),
+        metadata=metadata,
+    )

@@ -1,0 +1,109 @@
+"""Dataset abstractions.
+
+``Dataset`` is the minimal map-style interface; ``InMemoryDataset`` wraps a
+materialized list; ``ConcatDataset`` fuses datasets for the multi-dataset
+experiments while remembering which source each index came from; ``Subset``
+implements index views for splits.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Dataset(Generic[T]):
+    """Map-style dataset: implement ``__len__`` and ``__getitem__``."""
+
+    #: Human-readable dataset name; surrogate datasets override this and the
+    #: UMAP exploration keys clusters by it.
+    name: str = "dataset"
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> T:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[T]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def materialize(self) -> "InMemoryDataset[T]":
+        """Eagerly evaluate all samples (generated datasets are lazy)."""
+        data = InMemoryDataset([self[i] for i in range(len(self))])
+        data.name = self.name
+        return data
+
+
+class InMemoryDataset(Dataset[T]):
+    """A dataset backed by a plain list."""
+
+    def __init__(self, items: Sequence[T], name: str = "in_memory"):
+        self._items = list(items)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def append(self, item: T) -> None:
+        self._items.append(item)
+
+
+class Subset(Dataset[T]):
+    """A view of a dataset through an index list (train/val splits)."""
+
+    def __init__(self, dataset: Dataset[T], indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+        self.name = dataset.name
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> T:
+        return self.dataset[self.indices[index]]
+
+
+class ConcatDataset(Dataset[T]):
+    """Concatenation of several datasets, tracking sample provenance.
+
+    ``source_of(index)`` returns (dataset_index, dataset_name); the
+    multi-dataset task uses it to route samples to the right output heads.
+    """
+
+    def __init__(self, datasets: Sequence[Dataset[T]]):
+        if not datasets:
+            raise ValueError("ConcatDataset needs at least one dataset")
+        self.datasets = list(datasets)
+        self._cumulative: List[int] = []
+        total = 0
+        for d in self.datasets:
+            total += len(d)
+            self._cumulative.append(total)
+        self.name = "+".join(d.name for d in self.datasets)
+
+    def __len__(self) -> int:
+        return self._cumulative[-1]
+
+    def _locate(self, index: int) -> tuple:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        ds_idx = bisect.bisect_right(self._cumulative, index)
+        prev = self._cumulative[ds_idx - 1] if ds_idx > 0 else 0
+        return ds_idx, index - prev
+
+    def __getitem__(self, index: int) -> T:
+        ds_idx, local = self._locate(index)
+        return self.datasets[ds_idx][local]
+
+    def source_of(self, index: int) -> tuple:
+        ds_idx, _ = self._locate(index)
+        return ds_idx, self.datasets[ds_idx].name

@@ -1,0 +1,45 @@
+"""Transform protocol and composition."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+class Transform:
+    """A deterministic-or-seeded mapping from sample to sample."""
+
+    def __call__(self, sample):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class Compose(Transform):
+    """Apply transforms left to right."""
+
+    def __init__(self, transforms: Sequence[Callable]):
+        self.transforms = list(transforms)
+
+    def __call__(self, sample):
+        for t in self.transforms:
+            sample = t(sample)
+        return sample
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Lambda(Transform):
+    """Wrap a plain function as a transform."""
+
+    def __init__(self, fn: Callable, name: str = "lambda"):
+        self.fn = fn
+        self.name = name
+
+    def __call__(self, sample):
+        return self.fn(sample)
+
+    def __repr__(self) -> str:
+        return f"Lambda({self.name})"

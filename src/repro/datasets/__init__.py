@@ -1,0 +1,34 @@
+"""Datasets: the synthetic pretraining task and surrogate materials sources.
+
+The five dataset interfaces mirror the ones the paper integrates (Sec. 3.1):
+Materials Project, Carolina Materials Database, OC20, OC22, and LiPS — here
+backed by procedural generators plus the deterministic surrogate-DFT label
+engine (see DESIGN.md for the substitution argument) — and the synthetic
+symmetry-group point-cloud dataset used for pretraining.
+"""
+
+from repro.datasets.periodic_table import Element, PERIODIC_TABLE, element, MAX_Z
+from repro.datasets.surrogate_dft import SurrogateDFT
+from repro.datasets.symmetry import SymmetryPointCloudDataset
+from repro.datasets.materials_project import MaterialsProjectSurrogate
+from repro.datasets.carolina import CarolinaSurrogate
+from repro.datasets.ocp import OC20Surrogate, OC22Surrogate
+from repro.datasets.lips import LiPSSurrogate
+from repro.datasets.registry import DATASET_REGISTRY, available_datasets, build_dataset
+
+__all__ = [
+    "Element",
+    "PERIODIC_TABLE",
+    "element",
+    "MAX_Z",
+    "SurrogateDFT",
+    "SymmetryPointCloudDataset",
+    "MaterialsProjectSurrogate",
+    "CarolinaSurrogate",
+    "OC20Surrogate",
+    "OC22Surrogate",
+    "LiPSSurrogate",
+    "DATASET_REGISTRY",
+    "available_datasets",
+    "build_dataset",
+]

@@ -1,0 +1,126 @@
+"""LiPS-style surrogate: an MD trajectory of a single solid electrolyte.
+
+The real LiPS dataset (Batzner et al.) is a molecular-dynamics trajectory of
+one lithium-phosphorus-sulfide composition with energy/force labels.  The
+surrogate runs Langevin dynamics on a fixed Li/P/S cell under the surrogate
+pair potential and exposes trajectory snapshots as samples.  Because every
+frame is a thermal perturbation of the same structure, the dataset forms a
+single tight cluster in embedding space — the calibration point of the
+paper's UMAP analysis (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.structures import Structure
+from repro.datasets.surrogate_dft import SurrogateDFT
+from repro.geometry.lattice import Lattice
+
+
+def langevin_step(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    forces: np.ndarray,
+    masses: np.ndarray,
+    dt: float,
+    friction: float,
+    temperature_energy: float,
+    rng: np.random.Generator,
+) -> tuple:
+    """One BAOAB-flavoured Langevin step; returns updated (positions, velocities).
+
+    Units: positions angstrom, energies eV, masses amu — the conversion
+    constant folds into the effective timestep, which is all that matters
+    for generating thermally plausible configurations.
+    """
+    inv_m = 1.0 / masses[:, None]
+    velocities = velocities + 0.5 * dt * forces * inv_m
+    positions = positions + 0.5 * dt * velocities
+    c1 = np.exp(-friction * dt)
+    c2 = np.sqrt((1.0 - c1 * c1) * temperature_energy) * np.sqrt(inv_m)
+    velocities = c1 * velocities + c2 * rng.normal(size=velocities.shape)
+    positions = positions + 0.5 * dt * velocities
+    return positions, velocities
+
+
+class LiPSSurrogate(Dataset[Structure]):
+    """Precomputed Langevin trajectory of one Li-P-S cell.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of snapshots retained (every ``stride`` MD steps).
+    temperature:
+        Thermal energy scale in eV (0.025 eV is approx. room temperature).
+    """
+
+    #: Composition per cell: Li6-P-S5-like stoichiometry scaled down.
+    LI, P, S = 3, 15, 16
+
+    def __init__(
+        self,
+        num_samples: int,
+        seed: int = 0,
+        stride: int = 5,
+        dt: float = 0.01,
+        temperature: float = 0.025,
+        friction: float = 0.5,
+        calculator: Optional[SurrogateDFT] = None,
+    ):
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        self.num_samples = num_samples
+        self.seed = seed
+        self.calculator = calculator or SurrogateDFT()
+        self.name = "lips"
+
+        rng = np.random.default_rng((seed, 5))
+        species = np.array([self.LI] * 6 + [self.P] * 1 + [self.S] * 5, dtype=np.int64)
+        n = len(species)
+        a = (n * 14.0) ** (1.0 / 3.0)  # ~14 A^3 per atom, cubic box
+        self.cell = np.eye(3) * a
+        self.species = species
+        masses = np.array([6.9] * 6 + [31.0] * 1 + [32.1] * 5)
+
+        # Initialize on a jittered grid, then integrate and keep snapshots.
+        grid = int(np.ceil(n ** (1.0 / 3.0)))
+        base = np.array(
+            [[i, j, k] for i in range(grid) for j in range(grid) for k in range(grid)],
+            dtype=np.float64,
+        )[:n]
+        positions = (base + 0.5) / grid * a + rng.normal(0.0, 0.05, size=(n, 3))
+        velocities = rng.normal(0.0, np.sqrt(temperature), size=(n, 3)) / np.sqrt(
+            masses[:, None]
+        )
+
+        self._frames = []
+        calc = self.calculator
+        total_steps = num_samples * stride
+        energy, forces = calc.energy_and_forces(positions, species, cell=self.cell)
+        for step in range(total_steps):
+            positions, velocities = langevin_step(
+                positions, velocities, forces, masses, dt, friction, temperature, rng
+            )
+            positions %= a  # wrap into the box
+            energy, forces = calc.energy_and_forces(positions, species, cell=self.cell)
+            if (step + 1) % stride == 0:
+                self._frames.append((positions.copy(), float(energy), forces.copy()))
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def __getitem__(self, index: int) -> Structure:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(index)
+        positions, energy, forces = self._frames[index]
+        return Structure(
+            positions=positions,
+            species=self.species.copy(),
+            lattice=Lattice(self.cell),
+            targets={"energy": np.float64(energy), "forces": forces},
+            metadata={"dataset": self.name, "frame": index},
+        )

@@ -1,0 +1,180 @@
+"""Open-Catalyst-style surrogates (OC20 / OC22).
+
+Samples are adsorbate-on-slab composites: an fcc metal slab (OC20) or a
+rocksalt oxide slab (OC22) with a small molecule placed above the surface.
+Targets are the surrogate adsorption energy and per-atom forces, matching
+the energy/force labels of the real challenge datasets.  Structurally, both
+surrogates share slab motifs — which is what drives their overlap in the
+UMAP dataset-exploration figure (Fig. 4), just as the paper observes for
+the real OC20/OC22.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.structures import Structure
+from repro.datasets.periodic_table import element
+from repro.datasets.surrogate_dft import SurrogateDFT
+
+#: fcc transition / noble metals used for OC20 slabs.
+FCC_METALS: Tuple[int, ...] = (13, 28, 29, 45, 46, 47, 77, 78, 79)  # Al Ni Cu Rh Pd Ag Ir Pt Au
+
+#: Cations for OC22 oxide slabs.
+OXIDE_CATIONS: Tuple[int, ...] = (22, 23, 24, 25, 26, 27, 28, 29, 30, 40)  # Ti..Zn, Zr
+
+#: Small adsorbates: name -> (species, local coordinates).
+ADSORBATES: Dict[str, Tuple[Tuple[int, ...], Tuple[Tuple[float, float, float], ...]]] = {
+    "H": ((1,), ((0.0, 0.0, 0.0),)),
+    "O": ((8,), ((0.0, 0.0, 0.0),)),
+    "CO": ((6, 8), ((0.0, 0.0, 0.0), (0.0, 0.0, 1.13))),
+    "OH": ((8, 1), ((0.0, 0.0, 0.0), (0.0, 0.0, 0.97))),
+    "H2O": ((8, 1, 1), ((0.0, 0.0, 0.0), (0.76, 0.0, 0.59), (-0.76, 0.0, 0.59))),
+    "N": ((7,), ((0.0, 0.0, 0.0),)),
+}
+
+
+def fcc_slab(z: int, nn_dist: float, nx: int = 3, ny: int = 3, layers: int = 3) -> np.ndarray:
+    """Cartesian coordinates of an fcc(111)-like slab, one atom type.
+
+    Hexagonal in-plane packing with ABC layer stacking; returns (n, 3)
+    positions with the surface at the maximum z.
+    """
+    a1 = np.array([nn_dist, 0.0, 0.0])
+    a2 = np.array([nn_dist / 2.0, nn_dist * np.sqrt(3.0) / 2.0, 0.0])
+    dz = nn_dist * np.sqrt(2.0 / 3.0)
+    shift = (a1 + a2) / 3.0
+    rows = []
+    for layer in range(layers):
+        offset = shift * (layer % 3)
+        for i in range(nx):
+            for j in range(ny):
+                pos = i * a1 + j * a2 + offset
+                rows.append([pos[0], pos[1], layer * dz])
+    return np.asarray(rows)
+
+
+def rocksalt_slab(
+    cation: int, anion: int, spacing: float, nx: int = 3, ny: int = 3, layers: int = 2
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Checkerboard MO slab: alternating cation/anion on a square grid."""
+    positions, species = [], []
+    for layer in range(layers):
+        for i in range(nx):
+            for j in range(ny):
+                positions.append([i * spacing, j * spacing, layer * spacing])
+                species.append(cation if (i + j + layer) % 2 == 0 else anion)
+    return np.asarray(positions, dtype=np.float64), np.asarray(species, dtype=np.int64)
+
+
+class _OCPBase(Dataset[Structure]):
+    """Shared machinery: adsorbate placement and energy/force labelling."""
+
+    def __init__(
+        self,
+        num_samples: int,
+        seed: int,
+        stream: int,
+        calculator: Optional[SurrogateDFT] = None,
+    ):
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        self.num_samples = num_samples
+        self.seed = seed
+        self._stream = stream
+        self.calculator = calculator or SurrogateDFT()
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def _slab(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _compose(self, rng: np.random.Generator) -> Structure:
+        slab_pos, slab_species = self._slab(rng)
+        name = list(ADSORBATES)[int(rng.integers(0, len(ADSORBATES)))]
+        ads_species, ads_local = ADSORBATES[name]
+        ads_local = np.asarray(ads_local, dtype=np.float64)
+        # Place above a random surface site with a small lateral jitter.
+        top_z = slab_pos[:, 2].max()
+        surface = slab_pos[slab_pos[:, 2] > top_z - 1e-6]
+        site = surface[int(rng.integers(0, len(surface)))]
+        height = rng.uniform(1.6, 2.4)
+        anchor = site + np.array([0.0, 0.0, height])
+        anchor[:2] += rng.normal(0.0, 0.25, size=2)
+        ads_pos = ads_local + anchor
+
+        positions = np.vstack([slab_pos, ads_pos])
+        species = np.concatenate([slab_species, np.asarray(ads_species, dtype=np.int64)])
+
+        calc = self.calculator
+        e_total, forces = calc.energy_and_forces(positions, species)
+        e_slab, _ = calc.energy_and_forces(slab_pos, slab_species)
+        e_ads, _ = calc.energy_and_forces(ads_pos, np.asarray(ads_species, dtype=np.int64))
+        adsorption_energy = e_total - e_slab - e_ads
+
+        return Structure(
+            positions=positions - positions.mean(axis=0, keepdims=True),
+            species=species,
+            targets={
+                "energy": np.float64(e_total),
+                "adsorption_energy": np.float64(adsorption_energy),
+                "forces": forces,
+            },
+            metadata={
+                "dataset": self.name,
+                "adsorbate": name,
+                "num_slab_atoms": len(slab_pos),
+            },
+        )
+
+    def __getitem__(self, index: int) -> Structure:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(index)
+        rng = np.random.default_rng((self.seed, self._stream, index))
+        return self._compose(rng)
+
+
+class OC20Surrogate(_OCPBase):
+    """Metal slab + adsorbate composites with energy/force labels."""
+
+    def __init__(self, num_samples: int, seed: int = 0, calculator=None):
+        super().__init__(num_samples, seed, stream=3, calculator=calculator)
+        self.name = "oc20"
+
+    def _slab(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        metal = int(FCC_METALS[int(rng.integers(0, len(FCC_METALS)))])
+        nn = 2.0 * element(metal).covalent_radius
+        nx, ny = int(rng.integers(2, 4)), int(rng.integers(2, 4))
+        layers = int(rng.integers(2, 4))
+        pos = fcc_slab(metal, nn, nx=nx, ny=ny, layers=layers)
+        pos = pos + rng.normal(0.0, 0.03, size=pos.shape)  # thermal rattle
+        return pos, np.full(len(pos), metal, dtype=np.int64)
+
+
+class OC22Surrogate(_OCPBase):
+    """Oxide slab + adsorbate composites (the OC22 analogue)."""
+
+    def __init__(self, num_samples: int, seed: int = 0, calculator=None):
+        super().__init__(num_samples, seed, stream=4, calculator=calculator)
+        self.name = "oc22"
+
+    def _slab(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        cation = int(OXIDE_CATIONS[int(rng.integers(0, len(OXIDE_CATIONS)))])
+        spacing = element(cation).covalent_radius + element(8).covalent_radius
+        nx, ny = int(rng.integers(2, 4)), int(rng.integers(2, 4))
+        layers = int(rng.integers(2, 4))
+        pos, species = rocksalt_slab(cation, 8, spacing, nx=nx, ny=ny, layers=layers)
+        # Oxygen-vacancy defects, ubiquitous in real oxide surfaces, break
+        # the perfect-checkerboard uniformity of the generated slabs.
+        oxygens = np.nonzero(species == 8)[0]
+        n_vac = int(rng.integers(0, max(1, len(oxygens) // 6) + 1))
+        if n_vac:
+            drop = rng.choice(oxygens, size=n_vac, replace=False)
+            keep = np.setdiff1d(np.arange(len(species)), drop)
+            pos, species = pos[keep], species[keep]
+        pos = pos + rng.normal(0.0, 0.03, size=pos.shape)
+        return pos, species

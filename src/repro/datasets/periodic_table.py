@@ -1,0 +1,84 @@
+"""A compact periodic table for the surrogate label engine.
+
+Values are approximate (Pauling electronegativity, single-bond covalent
+radii in angstrom, valence electron counts) — adequate for a *surrogate*
+DFT: what matters downstream is that element identity maps smoothly and
+deterministically onto interaction parameters, giving the encoders a
+learnable chemistry signal with realistic structure (electronegativity
+trends across periods, radius trends down groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+# (symbol, electronegativity, covalent_radius_A, valence_electrons)
+_RAW: Tuple[Tuple[str, float, float, int], ...] = (
+    ("H", 2.20, 0.31, 1), ("He", 4.16, 0.28, 2),
+    ("Li", 0.98, 1.28, 1), ("Be", 1.57, 0.96, 2), ("B", 2.04, 0.84, 3),
+    ("C", 2.55, 0.76, 4), ("N", 3.04, 0.71, 5), ("O", 3.44, 0.66, 6),
+    ("F", 3.98, 0.57, 7), ("Ne", 4.79, 0.58, 8),
+    ("Na", 0.93, 1.66, 1), ("Mg", 1.31, 1.41, 2), ("Al", 1.61, 1.21, 3),
+    ("Si", 1.90, 1.11, 4), ("P", 2.19, 1.07, 5), ("S", 2.58, 1.05, 6),
+    ("Cl", 3.16, 1.02, 7), ("Ar", 3.24, 1.06, 8),
+    ("K", 0.82, 2.03, 1), ("Ca", 1.00, 1.76, 2), ("Sc", 1.36, 1.70, 3),
+    ("Ti", 1.54, 1.60, 4), ("V", 1.63, 1.53, 5), ("Cr", 1.66, 1.39, 6),
+    ("Mn", 1.55, 1.39, 7), ("Fe", 1.83, 1.32, 8), ("Co", 1.88, 1.26, 9),
+    ("Ni", 1.91, 1.24, 10), ("Cu", 1.90, 1.32, 11), ("Zn", 1.65, 1.22, 12),
+    ("Ga", 1.81, 1.22, 3), ("Ge", 2.01, 1.20, 4), ("As", 2.18, 1.19, 5),
+    ("Se", 2.55, 1.20, 6), ("Br", 2.96, 1.20, 7), ("Kr", 3.00, 1.16, 8),
+    ("Rb", 0.82, 2.20, 1), ("Sr", 0.95, 1.95, 2), ("Y", 1.22, 1.90, 3),
+    ("Zr", 1.33, 1.75, 4), ("Nb", 1.60, 1.64, 5), ("Mo", 2.16, 1.54, 6),
+    ("Tc", 1.90, 1.47, 7), ("Ru", 2.20, 1.46, 8), ("Rh", 2.28, 1.42, 9),
+    ("Pd", 2.20, 1.39, 10), ("Ag", 1.93, 1.45, 11), ("Cd", 1.69, 1.44, 12),
+    ("In", 1.78, 1.42, 3), ("Sn", 1.96, 1.39, 4), ("Sb", 2.05, 1.39, 5),
+    ("Te", 2.10, 1.38, 6), ("I", 2.66, 1.39, 7), ("Xe", 2.60, 1.40, 8),
+    ("Cs", 0.79, 2.44, 1), ("Ba", 0.89, 2.15, 2), ("La", 1.10, 2.07, 3),
+    ("Ce", 1.12, 2.04, 4), ("Pr", 1.13, 2.03, 5), ("Nd", 1.14, 2.01, 6),
+    ("Pm", 1.13, 1.99, 7), ("Sm", 1.17, 1.98, 8), ("Eu", 1.20, 1.98, 9),
+    ("Gd", 1.20, 1.96, 10), ("Tb", 1.22, 1.94, 11), ("Dy", 1.23, 1.92, 12),
+    ("Ho", 1.24, 1.92, 13), ("Er", 1.24, 1.89, 14), ("Tm", 1.25, 1.90, 15),
+    ("Yb", 1.10, 1.87, 16), ("Lu", 1.27, 1.87, 3),
+    ("Hf", 1.30, 1.75, 4), ("Ta", 1.50, 1.70, 5), ("W", 2.36, 1.62, 6),
+    ("Re", 1.90, 1.51, 7), ("Os", 2.20, 1.44, 8), ("Ir", 2.20, 1.41, 9),
+    ("Pt", 2.28, 1.36, 10), ("Au", 2.54, 1.36, 11), ("Hg", 2.00, 1.32, 12),
+    ("Tl", 1.62, 1.45, 3), ("Pb", 2.33, 1.46, 4), ("Bi", 2.02, 1.48, 5),
+    ("Po", 2.00, 1.40, 6), ("At", 2.20, 1.50, 7), ("Rn", 2.20, 1.50, 8),
+    ("Fr", 0.70, 2.60, 1), ("Ra", 0.90, 2.21, 2), ("Ac", 1.10, 2.15, 3),
+)
+
+MAX_Z = len(_RAW)
+
+
+@dataclass(frozen=True)
+class Element:
+    """One element's properties as used by the surrogate potential."""
+
+    z: int
+    symbol: str
+    electronegativity: float
+    covalent_radius: float
+    valence_electrons: int
+
+
+PERIODIC_TABLE: Dict[int, Element] = {
+    z: Element(z, sym, en, radius, val)
+    for z, (sym, en, radius, val) in enumerate(_RAW, start=1)
+}
+
+_BY_SYMBOL: Dict[str, Element] = {e.symbol: e for e in PERIODIC_TABLE.values()}
+
+
+def element(key) -> Element:
+    """Look up an element by atomic number or symbol."""
+    if isinstance(key, str):
+        try:
+            return _BY_SYMBOL[key]
+        except KeyError:
+            raise KeyError(f"unknown element symbol {key!r}")
+    z = int(key)
+    try:
+        return PERIODIC_TABLE[z]
+    except KeyError:
+        raise KeyError(f"atomic number {z} outside table range 1..{MAX_Z}")

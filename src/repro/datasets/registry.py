@@ -1,0 +1,35 @@
+"""Dataset registry: string-keyed construction, as the toolkit's configs use."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.data.dataset import Dataset
+from repro.datasets.carolina import CarolinaSurrogate
+from repro.datasets.lips import LiPSSurrogate
+from repro.datasets.materials_project import MaterialsProjectSurrogate
+from repro.datasets.ocp import OC20Surrogate, OC22Surrogate
+from repro.datasets.symmetry import SymmetryPointCloudDataset
+
+DATASET_REGISTRY: Dict[str, Callable[..., Dataset]] = {
+    "symmetry": SymmetryPointCloudDataset,
+    "materials_project": MaterialsProjectSurrogate,
+    "carolina": CarolinaSurrogate,
+    "oc20": OC20Surrogate,
+    "oc22": OC22Surrogate,
+    "lips": LiPSSurrogate,
+}
+
+
+def available_datasets() -> List[str]:
+    """Sorted names of every registered dataset."""
+    return sorted(DATASET_REGISTRY)
+
+
+def build_dataset(name: str, **kwargs) -> Dataset:
+    """Instantiate a registered dataset by name."""
+    try:
+        factory = DATASET_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return factory(**kwargs)

@@ -1,0 +1,331 @@
+"""Surrogate DFT: a deterministic, physics-inspired label engine.
+
+The paper's datasets carry DFT-computed labels (band gap, Fermi energy,
+formation energy, stability, energies/forces).  Those databases are not
+available offline, so this module supplies the closest synthetic equivalent:
+every label is a *deterministic, smooth function of the structure* computed
+from an interatomic model — which is exactly the property the downstream
+experiments need (a learnable structure->property mapping with realistic
+units, ranges and inter-property correlations).
+
+Components
+----------
+* **Pair potential** — a Morse form per element pair, parameterized from the
+  periodic table: equilibrium length from covalent radii, well depth from
+  electronegativities with an ionic-bonding bonus for dissimilar pairs.
+* **Formation energy** — per-atom compound energy minus composition-weighted
+  elemental references, where each reference is the same potential evaluated
+  on the element's ideal FCC packing (self-consistent, so formation energies
+  are centred near zero like real hull data).
+* **Band gap** — ionicity/electronegativity heuristic with a volume term;
+  metals clamp to zero, insulators reach several eV, matching the bimodal
+  Materials Project distribution.
+* **Fermi energy** — free-electron-gas estimate from the valence-electron
+  density, (hbar^2 / 2m) (3 pi^2 n)^(2/3).
+* **Stability** — formation energy measured against a composition-dependent
+  synthetic convex-hull margin.
+* **Forces** — analytic Morse gradients, for trajectory datasets (LiPS) and
+  the OCP-style energy/force tasks.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.datasets.periodic_table import element
+from repro.geometry.lattice import Lattice, minimum_image_distances
+
+#: hbar^2 / (2 m_e) in eV * angstrom^2 — free-electron Fermi-energy prefactor.
+_HBAR2_OVER_2M = 3.81
+
+
+class SurrogateDFT:
+    """Deterministic property calculator over :class:`Structure`-like data.
+
+    Parameters
+    ----------
+    cutoff:
+        Pair-interaction cutoff in angstrom.  The potential is shifted so
+        V(cutoff) = 0, keeping energies continuous as atoms cross it.
+    morse_a:
+        Inverse-width of the Morse well.
+    """
+
+    #: Fraction of ideal-FCC cohesion an *unrelaxed* random packing recovers
+    #: under this potential (measured ~0.2 over the generator's output).
+    #: Elemental references are scaled by it so that formation energies of
+    #: generated structures centre near zero, as hull-referenced database
+    #: values do; without it every unrelaxed structure would sit far above
+    #: its relaxed elemental references.
+    REFERENCE_DISORDER = 0.21
+
+    def __init__(self, cutoff: float = 6.0, morse_a: float = 1.8):
+        self.cutoff = cutoff
+        self.morse_a = morse_a
+
+    # ------------------------------------------------------------------ #
+    # Potential parameters
+    # ------------------------------------------------------------------ #
+    @functools.lru_cache(maxsize=None)
+    def pair_params(self, z1: int, z2: int) -> Tuple[float, float]:
+        """(well depth D_ij [eV], equilibrium distance r0_ij [A])."""
+        e1, e2 = element(z1), element(z2)
+        r0 = e1.covalent_radius + e2.covalent_radius
+        # Covalent term grows with shared electronegativity; ionic term with
+        # the difference.  Values land in ~0.3..2.5 eV, a realistic bond scale.
+        depth = 0.35 * math.sqrt(e1.electronegativity * e2.electronegativity)
+        depth += 0.45 * abs(e1.electronegativity - e2.electronegativity)
+        return depth, r0
+
+    def _pair_param_arrays(self, species: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized (depth, r0) matrices for a species vector."""
+        en = np.array([element(int(z)).electronegativity for z in species])
+        rad = np.array([element(int(z)).covalent_radius for z in species])
+        depth = 0.35 * np.sqrt(np.outer(en, en)) + 0.45 * np.abs(en[:, None] - en[None, :])
+        r0 = rad[:, None] + rad[None, :]
+        return depth, r0
+
+    def _pair_energy_matrix(self, dists: np.ndarray, species: np.ndarray) -> np.ndarray:
+        """Morse energy per pair (upper triangle used by callers)."""
+        depth, r0 = self._pair_param_arrays(species)
+        a = self.morse_a
+        x = np.exp(-a * (np.minimum(dists, 1e6) - r0))
+        v = depth * ((1.0 - x) ** 2 - 1.0)
+        # Shift so the potential vanishes at the cutoff (per pair type).
+        xc = np.exp(-a * (self.cutoff - r0))
+        vc = depth * ((1.0 - xc) ** 2 - 1.0)
+        v = v - vc
+        v[dists >= self.cutoff] = 0.0
+        return v
+
+    # ------------------------------------------------------------------ #
+    # Energies
+    # ------------------------------------------------------------------ #
+    def total_energy(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice] = None,
+        frac: Optional[np.ndarray] = None,
+    ) -> float:
+        """Total pair energy [eV].
+
+        For periodic structures pass ``lattice`` and fractional coordinates;
+        distances then use the minimum image.  Otherwise open boundaries.
+        """
+        species = np.asarray(species, dtype=np.int64)
+        if lattice is not None:
+            if frac is None:
+                frac = positions @ np.linalg.inv(lattice.matrix)
+            dists = minimum_image_distances(lattice, frac)
+        else:
+            dists = cdist(positions, positions)
+        np.fill_diagonal(dists, np.inf)
+        v = self._pair_energy_matrix(dists, species)
+        return float(v.sum() / 2.0)
+
+    @functools.lru_cache(maxsize=None)
+    def reference_energy(self, z: int) -> float:
+        """Per-atom energy of the element's ideal FCC packing.
+
+        Serves as the elemental reference chemical potential so that
+        formation energies are differences between a compound and its
+        decomposed standard states, as in real hull constructions.
+        """
+        _, r0 = self.pair_params(z, z)
+        nn = r0  # nearest-neighbour distance at the potential minimum
+        a = nn * math.sqrt(2.0)  # fcc lattice constant
+        lattice = Lattice.cubic(a)
+        frac = np.array(
+            [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+        )
+        # A 2x2x2 supercell keeps every neighbour within the cutoff honest.
+        from repro.geometry.lattice import supercell
+
+        sc_lat, sc_frac, sc_species = supercell(
+            lattice, frac, np.full(4, z, dtype=np.int64), (2, 2, 2)
+        )
+        e = self.total_energy(None, sc_species, lattice=sc_lat, frac=sc_frac)
+        return e / len(sc_species)
+
+    def formation_energy_per_atom(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice] = None,
+        frac: Optional[np.ndarray] = None,
+    ) -> float:
+        """E_form [eV/atom] = (E_total - sum of disorder-scaled references) / n."""
+        species = np.asarray(species, dtype=np.int64)
+        e_total = self.total_energy(positions, species, lattice=lattice, frac=frac)
+        e_ref = self.REFERENCE_DISORDER * sum(
+            self.reference_energy(int(z)) for z in species
+        )
+        return (e_total - e_ref) / len(species)
+
+    # ------------------------------------------------------------------ #
+    # Electronic-structure heuristics
+    # ------------------------------------------------------------------ #
+    def _bond_statistics(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice],
+        frac: Optional[np.ndarray],
+    ) -> Dict[str, float]:
+        species = np.asarray(species, dtype=np.int64)
+        if lattice is not None:
+            if frac is None:
+                frac = positions @ np.linalg.inv(lattice.matrix)
+            dists = minimum_image_distances(lattice, frac)
+        else:
+            dists = cdist(positions, positions)
+        np.fill_diagonal(dists, np.inf)
+        en = np.array([element(int(z)).electronegativity for z in species])
+        bonded = dists < 1.25 * (
+            np.add.outer(
+                [element(int(z)).covalent_radius for z in species],
+                [element(int(z)).covalent_radius for z in species],
+            )
+        )
+        i_idx, j_idx = np.nonzero(np.triu(bonded, k=1))
+        if len(i_idx) == 0:
+            ionicity = 0.0
+            coordination = 0.0
+        else:
+            ionicity = float(np.abs(en[i_idx] - en[j_idx]).mean())
+            coordination = 2.0 * len(i_idx) / len(species)
+        return {
+            "ionicity": ionicity,
+            "coordination": coordination,
+            "mean_en": float(en.mean()),
+            "en_spread": float(en.max() - en.min()),
+        }
+
+    def _volume_per_atom(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice],
+    ) -> float:
+        if lattice is not None:
+            return lattice.volume / len(species)
+        # Open systems: bounding-box estimate with a 1 A skin.
+        span = positions.max(axis=0) - positions.min(axis=0) + 2.0
+        return float(np.prod(span) / len(species))
+
+    def band_gap(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice] = None,
+        frac: Optional[np.ndarray] = None,
+    ) -> float:
+        """Band gap [eV]: ionicity-driven, clamped at zero for metals.
+
+        Calibrated so that low-electronegativity metallic systems give 0
+        while ionic insulators reach ~6-8 eV — the bimodal shape of the
+        Materials Project gap distribution.
+        """
+        stats = self._bond_statistics(positions, species, lattice, frac)
+        vpa = self._volume_per_atom(positions, species, lattice)
+        # The volume term saturates so sparse open clusters (whose bounding
+        # box overestimates volume) cannot fake an insulating gap.
+        volume_term = float(np.clip(0.045 * (vpa - 15.0), -0.5, 0.5))
+        raw = (
+            2.1 * stats["ionicity"]
+            + 1.0 * (stats["mean_en"] - 1.9)
+            + volume_term
+            - 0.16 * stats["coordination"]
+            + 0.7
+        )
+        return float(np.clip(raw, 0.0, 9.0))
+
+    def fermi_energy(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice] = None,
+    ) -> float:
+        """Free-electron Fermi energy [eV] from the valence-electron density.
+
+        Uses an effective free-carrier count of a quarter of the (capped)
+        valence electrons — not every valence electron is itinerant — which
+        lands the distribution in the few-eV range materials databases report.
+        """
+        species = np.asarray(species, dtype=np.int64)
+        n_electrons = sum(min(element(int(z)).valence_electrons, 8) for z in species) / 4.0
+        vpa = self._volume_per_atom(positions, species, lattice)
+        density = n_electrons / (vpa * len(species))
+        return float(_HBAR2_OVER_2M * (3.0 * math.pi**2 * density) ** (2.0 / 3.0))
+
+    def is_stable(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        lattice: Optional[Lattice] = None,
+        frac: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Synthetic hull test: E_form must beat a composition margin.
+
+        The margin plays the role of competing phases: strongly ionic
+        compositions have deeper competitors, so simply being negative is
+        not enough — mirroring how real stability labels cut across the
+        formation-energy axis.
+        """
+        e_form = self.formation_energy_per_atom(positions, species, lattice=lattice, frac=frac)
+        stats = self._bond_statistics(positions, species, lattice, frac)
+        margin = -0.55 * stats["ionicity"]
+        return bool(e_form < margin)
+
+    # ------------------------------------------------------------------ #
+    # Forces (trajectory datasets, OCP-style tasks)
+    # ------------------------------------------------------------------ #
+    def energy_and_forces(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        cell: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Energy [eV] and forces [eV/A], open boundaries or orthorhombic PBC.
+
+        The PBC path applies the minimum-image convention along each cell
+        vector independently, which is exact for orthorhombic cells (the MD
+        dataset uses a cubic cell).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        species = np.asarray(species, dtype=np.int64)
+        n = len(positions)
+        diff = positions[:, None, :] - positions[None, :, :]
+        if cell is not None:
+            cell = np.asarray(cell, dtype=np.float64)
+            lengths = np.diag(cell).copy()
+            if not np.allclose(cell, np.diag(lengths)):
+                raise ValueError("energy_and_forces PBC path requires an orthorhombic cell")
+            diff -= lengths * np.round(diff / lengths)
+        dists = np.linalg.norm(diff, axis=-1)
+        np.fill_diagonal(dists, np.inf)
+
+        depth, r0 = self._pair_param_arrays(species)
+        a = self.morse_a
+        x = np.exp(-a * (np.minimum(dists, 1e6) - r0))
+        inside = dists < self.cutoff
+        v = depth * ((1.0 - x) ** 2 - 1.0)
+        xc = np.exp(-a * (self.cutoff - r0))
+        v -= depth * ((1.0 - xc) ** 2 - 1.0)
+        v[~inside] = 0.0
+        energy = float(v.sum() / 2.0)
+
+        # dV/dd = 2 a D (1 - x) x ; force on i is -sum_j dV/dd * (r_i - r_j)/d.
+        dvdd = 2.0 * a * depth * (1.0 - x) * x
+        dvdd[~inside] = 0.0
+        with np.errstate(invalid="ignore"):
+            unit = diff / dists[:, :, None]
+        unit = np.nan_to_num(unit)
+        forces = -(dvdd[:, :, None] * unit).sum(axis=1)
+        return energy, forces

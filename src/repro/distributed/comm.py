@@ -1,0 +1,127 @@
+"""``SimComm``: an in-process, MPI-flavoured communicator.
+
+Rank-local values are held as Python lists indexed by rank; collectives
+compute exactly what their MPI counterparts would and additionally meter
+traffic (message counts and bytes, ring-allreduce accounting), which the
+performance model consumes.  The interface intentionally shadows mpi4py's
+lower-case object API (``allreduce``, ``bcast``, ``gather``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TrafficLog:
+    """Accumulated communication metering."""
+
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+    bcast_calls: int = 0
+    bcast_bytes: int = 0
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+
+    def reset(self) -> None:
+        self.allreduce_calls = 0
+        self.allreduce_bytes = 0
+        self.bcast_calls = 0
+        self.bcast_bytes = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0
+
+
+class SimComm:
+    """A simulated communicator over ``world_size`` ranks.
+
+    Collectives take per-rank sequences (index = rank) and return per-rank
+    results, mirroring SPMD semantics without processes.  All byte counts
+    use the ring-allreduce volume 2 * (N-1)/N * payload per rank, the
+    algorithm oneCCL/NCCL use for large tensors.
+    """
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.traffic = TrafficLog()
+
+    # ------------------------------------------------------------------ #
+    def _check(self, values: Sequence) -> None:
+        if len(values) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} per-rank values, got {len(values)}"
+            )
+
+    @staticmethod
+    def _nbytes(value) -> int:
+        arr = np.asarray(value)
+        return int(arr.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+    def allreduce(self, values: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
+        """Reduce across ranks; every rank receives the result."""
+        self._check(values)
+        arrays = [np.asarray(v, dtype=np.float64) for v in values]
+        if op == "sum":
+            result = np.sum(arrays, axis=0)
+        elif op == "mean":
+            result = np.mean(arrays, axis=0)
+        elif op == "max":
+            result = np.max(arrays, axis=0)
+        elif op == "min":
+            result = np.min(arrays, axis=0)
+        else:
+            raise ValueError(f"unsupported op {op!r}")
+        payload = self._nbytes(arrays[0])
+        self.traffic.allreduce_calls += 1
+        if self.world_size > 1:
+            self.traffic.allreduce_bytes += int(
+                2 * (self.world_size - 1) / self.world_size * payload * self.world_size
+            )
+        return [result.copy() for _ in range(self.world_size)]
+
+    def bcast(self, value, root: int = 0) -> List:
+        """Every rank receives the root's value."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"invalid root {root}")
+        self.traffic.bcast_calls += 1
+        if self.world_size > 1:
+            self.traffic.bcast_bytes += self._nbytes(value) * (self.world_size - 1)
+        arr = np.asarray(value)
+        return [arr.copy() for _ in range(self.world_size)]
+
+    def gather(self, values: Sequence, root: int = 0) -> List:
+        """Root receives the list of per-rank values; others receive None."""
+        self._check(values)
+        self.traffic.p2p_messages += self.world_size - 1
+        self.traffic.p2p_bytes += sum(self._nbytes(v) for i, v in enumerate(values) if i != root)
+        return [list(values) if rank == root else None for rank in range(self.world_size)]
+
+    def allgather(self, values: Sequence) -> List[List]:
+        """Every rank receives every rank's value."""
+        self._check(values)
+        self.traffic.p2p_messages += self.world_size * (self.world_size - 1)
+        self.traffic.p2p_bytes += sum(self._nbytes(v) for v in values) * (self.world_size - 1)
+        return [list(values) for _ in range(self.world_size)]
+
+    def scatter(self, values: Sequence, root: int = 0) -> List:
+        """Rank r receives values[r] (values live on the root)."""
+        self._check(values)
+        self.traffic.p2p_messages += self.world_size - 1
+        self.traffic.p2p_bytes += sum(self._nbytes(v) for i, v in enumerate(values) if i != root)
+        return list(values)
+
+    def reduce_scalar(self, values: Sequence[float], op: Callable = sum) -> float:
+        """Convenience: reduce python scalars (metric aggregation)."""
+        self._check(values)
+        return float(op(values))
+
+    def barrier(self) -> None:
+        """No-op in simulation; present to keep call sites SPMD-shaped."""

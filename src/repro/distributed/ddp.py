@@ -1,0 +1,150 @@
+"""Data-parallel training strategies.
+
+``DDPStrategy`` reproduces N-rank distributed data parallelism exactly:
+the global batch (B_eff samples) is split into N equal rank shards, each
+shard's gradient is computed, and the shard gradients are averaged through
+the simulated communicator — step for step the computation a real N-rank
+MPI job performs, because gradient averaging is associative.  What the
+simulation does not reproduce is wall-clock overlap; that is the
+performance model's job (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.batching import collate_graphs
+from repro.distributed.comm import SimComm
+
+
+class Strategy:
+    """Turns a list of samples into one optimizer-ready gradient.
+
+    ``execute(task, samples)`` runs forward/backward, leaves averaged
+    gradients on the task's parameters, and returns (loss_value, metrics).
+    """
+
+    world_size: int = 1
+
+    def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
+        raise NotImplementedError
+
+    def scale_lr(self, base_lr: float) -> float:
+        """Goyal et al. linear rule; identity for single-process training."""
+        return base_lr * self.world_size
+
+
+class SingleProcessStrategy(Strategy):
+    """Plain single-worker training."""
+
+    def __init__(self, collate_fn: Callable = collate_graphs):
+        self.collate_fn = collate_fn
+        self.world_size = 1
+
+    def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
+        batch = self.collate_fn(list(samples))
+        loss, metrics = task.training_step(batch)
+        loss.backward()
+        return float(loss.data), metrics
+
+
+class DDPStrategy(Strategy):
+    """Simulated N-rank distributed data parallelism.
+
+    Parameters
+    ----------
+    world_size:
+        Number of simulated ranks N.  The incoming global batch must have
+        at least N samples; it is split into N contiguous shards (real DDP
+        gives each rank B samples of the same global batch).
+    comm:
+        Communicator used for the gradient allreduce.  Shared across steps
+        so its traffic log accumulates — the scale-out bench reads it.
+    track_per_rank:
+        When True, per-rank gradients are snapshotted and reduced through
+        ``comm.allreduce`` explicitly (slower; used by the equivalence
+        tests).  The default fast path exploits in-place accumulation,
+        which produces bit-identical averages, and meters the same bytes.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        comm: Optional[SimComm] = None,
+        collate_fn: Callable = collate_graphs,
+        track_per_rank: bool = False,
+    ):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.comm = comm if comm is not None else SimComm(world_size)
+        self.collate_fn = collate_fn
+        self.track_per_rank = track_per_rank
+
+    def shard(self, samples: Sequence) -> List[List]:
+        n = len(samples)
+        if n < self.world_size:
+            raise ValueError(
+                f"global batch of {n} cannot feed {self.world_size} ranks"
+            )
+        per_rank = n // self.world_size
+        shards = [
+            list(samples[r * per_rank : (r + 1) * per_rank])
+            for r in range(self.world_size)
+        ]
+        # Leftover samples (n not divisible by N) are dropped, matching
+        # drop_last sharding in the real sampler.
+        return shards
+
+    def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
+        shards = self.shard(samples)
+        params = list(task.parameters())
+
+        if self.track_per_rank:
+            per_rank_grads: List[List[np.ndarray]] = []
+            losses = []
+            metrics: dict = {}
+            for shard in shards:
+                task.zero_grad()
+                batch = self.collate_fn(shard)
+                loss, m = task.training_step(batch)
+                loss.backward()
+                per_rank_grads.append(
+                    [
+                        p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+                        for p in params
+                    ]
+                )
+                losses.append(float(loss.data))
+                metrics = m
+            for i, p in enumerate(params):
+                reduced = self.comm.allreduce(
+                    [g[i] for g in per_rank_grads], op="mean"
+                )
+                p.grad = reduced[0]
+            return float(np.mean(losses)), metrics
+
+        # Fast path: accumulate in place (gradient sums are associative),
+        # divide once, meter the allreduce the real job would perform.
+        losses = []
+        metrics = {}
+        for shard in shards:
+            batch = self.collate_fn(shard)
+            loss, m = task.training_step(batch)
+            loss.backward()
+            losses.append(float(loss.data))
+            metrics = m
+        inv = 1.0 / self.world_size
+        payload = 0
+        for p in params:
+            if p.grad is not None:
+                p.grad *= inv
+                payload += p.grad.nbytes
+        self.comm.traffic.allreduce_calls += 1
+        if self.world_size > 1:
+            self.comm.traffic.allreduce_bytes += int(
+                2 * (self.world_size - 1) / self.world_size * payload * self.world_size
+            )
+        return float(np.mean(losses)), metrics

@@ -1,0 +1,228 @@
+"""The 32 crystallographic point groups, built from generators by closure.
+
+The synthetic pretraining task (paper Sec. 3.1) samples a point group,
+scatters seed particles, and replicates them under every group operation;
+the model learns to classify the generating group.  This module provides the
+groups as explicit operation sets with verified group axioms.
+
+Generator conventions (Schoenflies, z as the principal axis):
+
+* ``Cn``   — n-fold rotation about z.
+* ``Cnv``  — Cn plus a vertical mirror (normal x).
+* ``Cnh``  — Cn plus the horizontal mirror (normal z).
+* ``Sn``   — n-fold rotoreflection about z.
+* ``Dn``   — Cn plus a perpendicular 2-fold axis along x.
+* ``Dnh``  — Dn plus the horizontal mirror.
+* ``Dnd``  — D(n) generated from S(2n) about z plus C2 along x.
+* ``T/Th/Td/O/Oh`` — tetrahedral and octahedral groups from 2-, 3- and
+  4-fold axes of the cube, with inversion (Th, Oh) or an S4 (Td).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.operations import (
+    canonical_key,
+    identity,
+    improper_rotation,
+    inversion,
+    is_orthogonal,
+    reflection_matrix,
+    rotation_matrix,
+)
+
+X = np.array([1.0, 0.0, 0.0])
+Y = np.array([0.0, 1.0, 0.0])
+Z = np.array([0.0, 0.0, 1.0])
+DIAG_111 = np.array([1.0, 1.0, 1.0])
+
+
+@dataclass(frozen=True)
+class PointGroup:
+    """A finite subgroup of O(3) given as explicit matrices.
+
+    Attributes
+    ----------
+    name:
+        Schoenflies symbol, e.g. ``"C4v"``.
+    operations:
+        Array of shape ``(order, 3, 3)``; the first entry is the identity.
+    """
+
+    name: str
+    operations: np.ndarray = field(repr=False)
+
+    @property
+    def order(self) -> int:
+        return len(self.operations)
+
+    def orbit(self, points: np.ndarray) -> np.ndarray:
+        """Apply every operation to ``points`` (n, 3) -> (order * n, 3)."""
+        points = np.asarray(points, dtype=np.float64)
+        # (g, 3, 3) @ (3, n) -> (g, 3, n) -> (g*n, 3); einsum keeps it one pass.
+        transformed = np.einsum("gij,nj->gni", self.operations, points)
+        return transformed.reshape(-1, 3)
+
+    def contains(self, op: np.ndarray) -> bool:
+        key = canonical_key(op)
+        return key in {canonical_key(o) for o in self.operations}
+
+    def is_subgroup_of(self, other: "PointGroup") -> bool:
+        other_keys = {canonical_key(o) for o in other.operations}
+        return all(canonical_key(o) in other_keys for o in self.operations)
+
+    def multiplication_table(self) -> np.ndarray:
+        """(order, order) index table: table[i, j] = index of op_i @ op_j."""
+        keys = {canonical_key(op): i for i, op in enumerate(self.operations)}
+        n = self.order
+        table = np.empty((n, n), dtype=np.int64)
+        for i, a in enumerate(self.operations):
+            for j, b in enumerate(self.operations):
+                table[i, j] = keys[canonical_key(a @ b)]
+        return table
+
+    def has_inversion(self) -> bool:
+        return self.contains(inversion())
+
+    def is_chiral(self) -> bool:
+        """True when every operation is a proper rotation (det +1)."""
+        return bool(np.all(np.linalg.det(self.operations) > 0))
+
+
+def build_point_group(name: str, generators: Iterable[np.ndarray]) -> PointGroup:
+    """Close a generator set under multiplication.
+
+    The closure loop multiplies all known elements pairwise until no new
+    operation appears; crystallographic groups have order <= 48 so this
+    terminates in a handful of passes.
+    """
+    elements: Dict[Tuple[float, ...], np.ndarray] = {canonical_key(identity()): identity()}
+    frontier: List[np.ndarray] = [identity()]
+    for g in generators:
+        g = np.asarray(g, dtype=np.float64)
+        if not is_orthogonal(g):
+            raise ValueError(f"generator for {name} is not orthogonal:\n{g}")
+        key = canonical_key(g)
+        if key not in elements:
+            elements[key] = g
+            frontier.append(g)
+    while frontier:
+        new_frontier: List[np.ndarray] = []
+        current = list(elements.values())
+        for a in frontier:
+            for b in current:
+                for prod in (a @ b, b @ a):
+                    key = canonical_key(prod)
+                    if key not in elements:
+                        if len(elements) > 200:
+                            raise RuntimeError(
+                                f"group {name} exceeded order 200 — bad generators?"
+                            )
+                        elements[key] = prod
+                        new_frontier.append(prod)
+        frontier = new_frontier
+    ops = list(elements.values())
+    # Put the identity first, then sort deterministically by key for stable
+    # downstream hashing/serialization.
+    ops.sort(key=lambda op: (not np.allclose(op, np.eye(3)), canonical_key(op)))
+    return PointGroup(name=name, operations=np.array(ops))
+
+
+def _cn(n: int) -> np.ndarray:
+    return rotation_matrix(Z, 2.0 * math.pi / n)
+
+
+def _c2x() -> np.ndarray:
+    return rotation_matrix(X, math.pi)
+
+
+def _sigma_h() -> np.ndarray:
+    return reflection_matrix(Z)
+
+
+def _sigma_v() -> np.ndarray:
+    return reflection_matrix(X)
+
+
+def _s2n(n: int) -> np.ndarray:
+    return improper_rotation(Z, math.pi / n)
+
+
+def _generator_table() -> Dict[str, List[np.ndarray]]:
+    c3_111 = rotation_matrix(DIAG_111, 2.0 * math.pi / 3.0)
+    table: Dict[str, List[np.ndarray]] = {
+        "C1": [],
+        "Ci": [inversion()],
+        "Cs": [_sigma_h()],
+        "C2": [_cn(2)],
+        "C3": [_cn(3)],
+        "C4": [_cn(4)],
+        "C6": [_cn(6)],
+        "C2v": [_cn(2), _sigma_v()],
+        "C3v": [_cn(3), _sigma_v()],
+        "C4v": [_cn(4), _sigma_v()],
+        "C6v": [_cn(6), _sigma_v()],
+        "C2h": [_cn(2), _sigma_h()],
+        "C3h": [_cn(3), _sigma_h()],
+        "C4h": [_cn(4), _sigma_h()],
+        "C6h": [_cn(6), _sigma_h()],
+        "S4": [improper_rotation(Z, math.pi / 2.0)],
+        "S6": [improper_rotation(Z, math.pi / 3.0)],
+        "D2": [_cn(2), _c2x()],
+        "D3": [_cn(3), _c2x()],
+        "D4": [_cn(4), _c2x()],
+        "D6": [_cn(6), _c2x()],
+        "D2h": [_cn(2), _c2x(), _sigma_h()],
+        "D3h": [_cn(3), _c2x(), _sigma_h()],
+        "D4h": [_cn(4), _c2x(), _sigma_h()],
+        "D6h": [_cn(6), _c2x(), _sigma_h()],
+        "D2d": [_s2n(2), _c2x()],
+        "D3d": [_s2n(3), _c2x()],
+        "T": [rotation_matrix(Z, math.pi), c3_111],
+        "Th": [rotation_matrix(Z, math.pi), c3_111, inversion()],
+        "Td": [rotation_matrix(Z, math.pi), c3_111, improper_rotation(Z, math.pi / 2.0)],
+        "O": [rotation_matrix(Z, math.pi / 2.0), c3_111],
+        "Oh": [rotation_matrix(Z, math.pi / 2.0), c3_111, inversion()],
+    }
+    return table
+
+
+#: Schoenflies names of the 32 crystallographic point groups, in a fixed
+#: order that defines the pretraining class index.
+CRYSTAL_POINT_GROUP_NAMES: Tuple[str, ...] = tuple(_generator_table().keys())
+
+#: Known group orders, used as a structural test of the closure construction.
+POINT_GROUP_ORDERS: Dict[str, int] = {
+    "C1": 1, "Ci": 2, "Cs": 2,
+    "C2": 2, "C3": 3, "C4": 4, "C6": 6,
+    "C2v": 4, "C3v": 6, "C4v": 8, "C6v": 12,
+    "C2h": 4, "C3h": 6, "C4h": 8, "C6h": 12,
+    "S4": 4, "S6": 6,
+    "D2": 4, "D3": 6, "D4": 8, "D6": 12,
+    "D2h": 8, "D3h": 12, "D4h": 16, "D6h": 24,
+    "D2d": 8, "D3d": 12,
+    "T": 12, "Th": 24, "Td": 24, "O": 24, "Oh": 48,
+}
+
+_CACHE: Dict[str, PointGroup] = {}
+
+
+def crystallographic_point_groups(
+    names: Sequence[str] | None = None,
+) -> List[PointGroup]:
+    """Return the requested point groups (all 32 by default), cached."""
+    names = list(names) if names is not None else list(CRYSTAL_POINT_GROUP_NAMES)
+    table = _generator_table()
+    groups = []
+    for name in names:
+        if name not in table:
+            raise KeyError(f"unknown point group {name!r}")
+        if name not in _CACHE:
+            _CACHE[name] = build_point_group(name, table[name])
+        groups.append(_CACHE[name])
+    return groups

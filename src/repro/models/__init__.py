@@ -1,0 +1,25 @@
+"""Encoders and output heads.
+
+``EGNN`` is the paper's backbone (Satorras et al.'s equivariant GNN,
+Appendix A); ``GeometricAttentionEncoder`` is the point-cloud alternative
+the toolkit supports (Sec. 2.1's geometric-algebra-attention line of work).
+Both map a :class:`repro.data.GraphBatch` to per-graph embeddings consumed
+by task output heads.
+"""
+
+from repro.models.encoder import Encoder, EncoderOutput
+from repro.models.egnn import EGNN, EGCL
+from repro.models.gaanet import GeometricAttentionEncoder
+from repro.models.schnet import SchNet
+from repro.models.registry import ENCODER_REGISTRY, build_encoder
+
+__all__ = [
+    "Encoder",
+    "EncoderOutput",
+    "EGNN",
+    "EGCL",
+    "GeometricAttentionEncoder",
+    "SchNet",
+    "ENCODER_REGISTRY",
+    "build_encoder",
+]

@@ -1,0 +1,41 @@
+"""Encoder interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autograd import Tensor
+from repro.data.structures import GraphBatch
+from repro.nn.module import Module
+
+
+@dataclass
+class EncoderOutput:
+    """What an encoder emits for a batch.
+
+    ``graph_embedding`` — (num_graphs, embed_dim), the system-level vector
+    that output heads consume.  ``node_embedding`` — (num_nodes, embed_dim),
+    used by per-atom scalar heads.  ``coordinate_update`` — (num_nodes, 3)
+    or None: the displacement the encoder's equivariant coordinate channel
+    applied to each node.  Node embeddings are E(3)-*invariant*, so vector
+    quantities (forces) must be built from this *equivariant* channel; see
+    :class:`repro.tasks.EnergyForceTask`.
+    """
+
+    graph_embedding: Tensor
+    node_embedding: Tensor
+    coordinate_update: Tensor | None = None
+
+
+class Encoder(Module):
+    """Base class: subclasses set ``embed_dim`` and implement ``forward``.
+
+    The contract mirrors the paper's task structure (Sec. 3.2): one encoder
+    feeds any number of output heads, and in multi-task training the encoder
+    is the shared component updated through every head's loss.
+    """
+
+    embed_dim: int
+
+    def forward(self, batch: GraphBatch) -> EncoderOutput:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,25 @@
+"""Encoder registry for config-driven construction."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.egnn import EGNN
+from repro.models.encoder import Encoder
+from repro.models.gaanet import GeometricAttentionEncoder
+from repro.models.schnet import SchNet
+
+ENCODER_REGISTRY: Dict[str, Callable[..., Encoder]] = {
+    "egnn": EGNN,
+    "gaanet": GeometricAttentionEncoder,
+    "schnet": SchNet,
+}
+
+
+def build_encoder(name: str, **kwargs) -> Encoder:
+    """Instantiate a registered encoder by name."""
+    try:
+        factory = ENCODER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown encoder {name!r}; available: {sorted(ENCODER_REGISTRY)}")
+    return factory(**kwargs)

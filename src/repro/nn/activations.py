@@ -1,0 +1,96 @@
+"""Activation modules wrapping :mod:`repro.autograd.functional`."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.nn.module import Module
+
+
+class SiLU(Module):
+    """Global activation used throughout the paper's encoder."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+    def __repr__(self) -> str:
+        return "SiLU()"
+
+
+class SELU(Module):
+    """Self-normalizing activation used by the output heads (Appendix A)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.selu(x)
+
+    def __repr__(self) -> str:
+        return "SELU()"
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Softplus(Module):
+    """Smooth ReLU: log(1 + exp(x))."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softplus(x)
+
+    def __repr__(self) -> str:
+        return "Softplus()"
+
+
+class Identity(Module):
+    """Pass-through (placeholder activation in configs)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+ACTIVATIONS = {
+    "silu": SiLU,
+    "selu": SELU,
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "softplus": Softplus,
+    "identity": Identity,
+}
+
+
+def get_activation(name: str) -> Module:
+    """Instantiate an activation by configuration string."""
+    try:
+        return ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(ACTIVATIONS)}")

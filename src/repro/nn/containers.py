@@ -1,0 +1,100 @@
+"""Module containers: Sequential, ModuleList, ModuleDict."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+            self._order.append(f"layer{i}")
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+
+class ModuleList(Module):
+    """An indexable list of submodules (e.g. the stack of EGNN layers)."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = f"item{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class ModuleDict(Module):
+    """A string-keyed mapping of submodules (e.g. per-target output heads)."""
+
+    def __init__(self, modules: Dict[str, Module] | None = None) -> None:
+        super().__init__()
+        self._keys: List[str] = []
+        if modules:
+            for key, module in modules.items():
+                self[key] = module
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        attr = f"entry_{key}"
+        setattr(self, attr, module)
+        if key not in self._keys:
+            self._keys.append(key)
+
+    def __getitem__(self, key: str) -> Module:
+        if key not in self._keys:
+            raise KeyError(key)
+        return getattr(self, f"entry_{key}")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def keys(self) -> List[str]:
+        return list(self._keys)
+
+    def items(self):
+        return [(k, self[k]) for k in self._keys]
+
+    def values(self):
+        return [self[k] for k in self._keys]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleDict is a container and cannot be called")

@@ -1,0 +1,30 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    The output heads in the paper use p = 0.2 (Appendix A).  An explicit
+    generator keeps mask sampling reproducible under a fixed seed.
+    """
+
+    def __init__(self, p: float = 0.2, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

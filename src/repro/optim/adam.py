@@ -1,0 +1,115 @@
+"""Adam and AdamW (decoupled weight decay).
+
+The paper trains everything with AdamW at the default momenta
+(beta1 = 0.9, beta2 = 0.999) and attributes its large-batch loss spikes to
+the Adam instability analyzed by Molybog et al. (2023): when gradients decay
+to the order of ``eps``, the update direction decouples across layers and the
+time-correlation assumption behind Adam's convergence breaks.  To support
+that analysis, the implementation exposes per-step diagnostics
+(:meth:`Adam.update_statistics`) including the fraction of second-moment
+entries at the eps floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with coupled (L2) weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._decoupled = False
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay and not self._decoupled:
+                g = g + self.weight_decay * p.data
+            state = self.state.setdefault(i, {})
+            if "m" not in state:
+                state["m"] = np.zeros_like(p.data)
+                state["v"] = np.zeros_like(p.data)
+            m, v = state["m"], state["v"]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and self._decoupled:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * update
+
+    # ------------------------------------------------------------------ #
+    # Instability diagnostics
+    # ------------------------------------------------------------------ #
+    def update_statistics(self) -> Dict[str, float]:
+        """Summaries of the optimizer's internal state for spike analysis.
+
+        Returns the global gradient norm, mean |m|, mean v, and the fraction
+        of v entries below eps^2 (the "eps floor" — large fractions mean the
+        effective update is dominated by the division-guard and layer-wise
+        dynamics decouple, the precondition for the Molybog-style spikes).
+        """
+        grad_norm = self.grad_global_norm()
+        m_abs, v_sum, n, floor = 0.0, 0.0, 0, 0
+        for state in self.state.values():
+            if "m" in state:
+                m_abs += float(np.abs(state["m"]).sum())
+                v_sum += float(state["v"].sum())
+                floor += int((state["v"] < self.eps**2).sum())
+                n += state["m"].size
+        n = max(n, 1)
+        return {
+            "grad_norm": grad_norm,
+            "mean_abs_m": m_abs / n,
+            "mean_v": v_sum / n,
+            "eps_floor_fraction": floor / n,
+        }
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    Weight decay multiplies parameters directly instead of being folded into
+    the gradient, so the adaptive preconditioner never rescales the decay.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-2,
+    ) -> None:
+        super().__init__(params, lr, betas=betas, eps=eps, weight_decay=weight_decay)
+        self._decoupled = True

@@ -1,0 +1,47 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Reference optimizer: baseline against Adam in the instability study.
+
+    Plain SGD has no adaptive preconditioner, so the ``eps``-floor pathology
+    Molybog et al. describe for Adam cannot occur — which is exactly why it
+    is worth having in the ablation benches.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self.step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                buf = self.state.setdefault(i, {}).get("momentum")
+                if buf is None:
+                    buf = np.zeros_like(p.data)
+                buf = self.momentum * buf + g
+                self.state[i]["momentum"] = buf
+                g = buf
+            p.data -= self.lr * g

@@ -1,0 +1,49 @@
+"""Training loop: the toolkit's Lightning-replacement.
+
+``Trainer`` owns the epoch/step loop, validation cadence, callback
+dispatch, and delegates batch execution to a distributed
+:class:`repro.distributed.Strategy` — the same separation of concerns
+PyTorch Lightning gives the original toolkit.
+"""
+
+from repro.training.history import History
+from repro.training.metrics import Meter, mean_absolute_error, accuracy
+from repro.training.callbacks import (
+    Callback,
+    EarlyStopping,
+    ModelCheckpoint,
+    LRMonitor,
+    ThroughputMeter,
+    SpikeDetector,
+    GradientStatsMonitor,
+)
+from repro.training.trainer import Trainer, TrainerConfig
+from repro.training.finetune import transfer_encoder, finetune_lr
+from repro.training.checkpoint_io import (
+    save_module,
+    load_module,
+    save_optimizer,
+    load_optimizer,
+)
+
+__all__ = [
+    "History",
+    "Meter",
+    "mean_absolute_error",
+    "accuracy",
+    "Callback",
+    "EarlyStopping",
+    "ModelCheckpoint",
+    "LRMonitor",
+    "ThroughputMeter",
+    "SpikeDetector",
+    "GradientStatsMonitor",
+    "Trainer",
+    "TrainerConfig",
+    "transfer_encoder",
+    "finetune_lr",
+    "save_module",
+    "load_module",
+    "save_optimizer",
+    "load_optimizer",
+]

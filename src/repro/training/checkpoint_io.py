@@ -1,0 +1,59 @@
+"""On-disk checkpointing: numpy-archive serialization of module state.
+
+State dicts are flat ``{name: ndarray}`` maps, so ``.npz`` archives are a
+natural, dependency-free container.  Optimizer state nests one level
+(per-parameter moments) and is flattened with a ``/`` separator.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+
+def save_module(module: Module, path: str) -> None:
+    """Write a module's parameters and buffers to ``path`` (.npz)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **module.state_dict())
+
+
+def load_module(module: Module, path: str, strict: bool = True) -> Module:
+    """Restore a module's state from ``path``; returns the module."""
+    with np.load(path) as data:
+        state = {k: data[k].copy() for k in data.files}
+    module.load_state_dict(state, strict=strict)
+    return module
+
+
+def save_optimizer(optimizer: Optimizer, path: str) -> None:
+    """Write optimizer hyper-state and per-parameter moments to ``path``."""
+    state = optimizer.state_dict()
+    flat: Dict[str, np.ndarray] = {
+        "__lr__": np.float64(state["lr"]),
+        "__step_count__": np.int64(state["step_count"]),
+    }
+    for param_idx, sub in state["state"].items():
+        for name, arr in sub.items():
+            flat[f"{param_idx}/{name}"] = arr
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **flat)
+
+
+def load_optimizer(optimizer: Optimizer, path: str) -> Optimizer:
+    """Restore optimizer state written by :func:`save_optimizer`."""
+    with np.load(path) as data:
+        nested: Dict[int, Dict[str, np.ndarray]] = {}
+        lr = float(data["__lr__"])
+        step_count = int(data["__step_count__"])
+        for key in data.files:
+            if key.startswith("__"):
+                continue
+            param_idx, name = key.split("/", 1)
+            nested.setdefault(int(param_idx), {})[name] = data[key].copy()
+    optimizer.load_state_dict({"lr": lr, "step_count": step_count, "state": nested})
+    return optimizer

@@ -1,0 +1,74 @@
+"""Run history: a flat record store with series extraction.
+
+Every logged event is a dict with at least ``step``, ``epoch`` and
+``split``; benches pull (step, metric) series out to print the paper's
+curves.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Tuple
+
+
+class History:
+    """Append-only log of training/validation events."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def log(self, step: int, epoch: int, split: str, **metrics) -> None:
+        record = {"step": step, "epoch": epoch, "split": split}
+        record.update(metrics)
+        self.records.append(record)
+
+    def series(self, split: str, metric: str) -> Tuple[List[int], List[float]]:
+        """(steps, values) for one metric on one split, in log order."""
+        steps, values = [], []
+        for r in self.records:
+            if r["split"] == split and metric in r and r[metric] is not None:
+                steps.append(r["step"])
+                values.append(float(r[metric]))
+        return steps, values
+
+    def last(self, split: str, metric: str) -> Optional[float]:
+        for r in reversed(self.records):
+            if r["split"] == split and metric in r:
+                return float(r[metric])
+        return None
+
+    def best(self, split: str, metric: str, mode: str = "min") -> Optional[float]:
+        _, values = self.series(split, metric)
+        if not values:
+            return None
+        return min(values) if mode == "min" else max(values)
+
+    def metrics_logged(self, split: str) -> List[str]:
+        keys: List[str] = []
+        for r in self.records:
+            if r["split"] != split:
+                continue
+            for k in r:
+                if k not in ("step", "epoch", "split") and k not in keys:
+                    keys.append(k)
+        return keys
+
+    def to_csv(self) -> str:
+        """Serialize to CSV (benches drop these next to their output)."""
+        if not self.records:
+            return ""
+        keys: List[str] = []
+        for r in self.records:
+            for k in r:
+                if k not in keys:
+                    keys.append(k)
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=keys)
+        writer.writeheader()
+        for r in self.records:
+            writer.writerow(r)
+        return buf.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,156 @@
+"""The training loop.
+
+``Trainer.fit`` consumes loaders that yield *lists of samples* (use
+``collate_fn=list`` on the DataLoader): the distributed strategy decides
+how a global batch becomes gradients — one collated batch for a single
+worker, N rank shards for simulated DDP.  Validation always runs
+single-process (it is metric aggregation, not gradient work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.data.batching import collate_graphs
+from repro.distributed.ddp import SingleProcessStrategy, Strategy
+from repro.optim.clip import clip_grad_norm
+from repro.optim.optimizer import Optimizer
+from repro.optim.schedulers import LRScheduler
+from repro.tasks.base import Task, finalize_val_results, merge_val_results
+from repro.training.callbacks import Callback
+from repro.training.history import History
+
+
+@dataclass
+class TrainerConfig:
+    """Loop configuration.
+
+    ``val_every_n_steps`` enables the dense validation cadence the early-
+    dynamics study needs (Fig. 3 evaluates every few steps); when None,
+    validation runs at epoch boundaries only.
+    """
+
+    max_epochs: int = 10
+    max_steps: Optional[int] = None
+    val_every_n_steps: Optional[int] = None
+    val_every_n_epochs: int = 1
+    grad_clip_norm: Optional[float] = None
+    log_every_n_steps: int = 10
+    val_max_batches: Optional[int] = None
+
+
+class Trainer:
+    """Fit a task against train/validation loaders."""
+
+    def __init__(
+        self,
+        config: TrainerConfig,
+        strategy: Optional[Strategy] = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+        collate_fn: Callable = collate_graphs,
+    ):
+        self.config = config
+        self.strategy = strategy if strategy is not None else SingleProcessStrategy(collate_fn)
+        self.callbacks: List[Callback] = list(callbacks or [])
+        self.collate_fn = collate_fn
+        self.history = History()
+        self.global_step = 0
+        self.should_stop = False
+        self.optimizer: Optional[Optimizer] = None
+        self.scheduler: Optional[LRScheduler] = None
+        self.last_batch_size = 0
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, hook: str, *args) -> None:
+        for cb in self.callbacks:
+            getattr(cb, hook)(self, *args)
+
+    # ------------------------------------------------------------------ #
+    def validate(self, task: Task, val_loader) -> Dict[str, float]:
+        """Aggregate validation metrics over (at most val_max_batches) batches."""
+        task.eval()
+        acc: dict = {}
+        for i, samples in enumerate(val_loader):
+            if (
+                self.config.val_max_batches is not None
+                and i >= self.config.val_max_batches
+            ):
+                break
+            batch = self.collate_fn(list(samples))
+            acc = merge_val_results(acc, task.validation_step(batch))
+        task.train()
+        return finalize_val_results(acc)
+
+    def _run_validation(self, task: Task, val_loader, epoch: int) -> Dict[str, float]:
+        metrics = self.validate(task, val_loader)
+        self.history.log(self.global_step, epoch, "val", **metrics)
+        self._emit("on_validation_end", task, self.global_step, metrics)
+        return metrics
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        task: Task,
+        train_loader,
+        val_loader=None,
+        optimizer: Optional[Optimizer] = None,
+        scheduler: Optional[LRScheduler] = None,
+    ) -> History:
+        if optimizer is None:
+            raise ValueError("Trainer.fit requires an optimizer")
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.should_stop = False
+        task.train()
+        self._emit("on_train_start", task)
+
+        for epoch in range(self.config.max_epochs):
+            sampler = getattr(train_loader, "sampler", None)
+            if hasattr(sampler, "set_epoch"):
+                sampler.set_epoch(epoch)
+            for samples in train_loader:
+                samples = list(samples)
+                self.last_batch_size = len(samples)
+                optimizer.zero_grad()
+                loss, metrics = self.strategy.execute(task, samples)
+                if self.config.grad_clip_norm is not None:
+                    clip_grad_norm(task.parameters(), self.config.grad_clip_norm)
+                optimizer.step()
+                self.global_step += 1
+
+                if self.global_step % self.config.log_every_n_steps == 0:
+                    self.history.log(
+                        self.global_step, epoch, "train", loss=loss, **metrics
+                    )
+                self._emit("on_step_end", task, self.global_step, loss, metrics)
+
+                if (
+                    val_loader is not None
+                    and self.config.val_every_n_steps is not None
+                    and self.global_step % self.config.val_every_n_steps == 0
+                ):
+                    self._run_validation(task, val_loader, epoch)
+
+                if (
+                    self.config.max_steps is not None
+                    and self.global_step >= self.config.max_steps
+                ):
+                    self.should_stop = True
+                if self.should_stop:
+                    break
+
+            if scheduler is not None:
+                scheduler.step()
+            if (
+                val_loader is not None
+                and self.config.val_every_n_steps is None
+                and (epoch + 1) % self.config.val_every_n_epochs == 0
+            ):
+                self._run_validation(task, val_loader, epoch)
+            self._emit("on_epoch_end", task, epoch)
+            if self.should_stop:
+                break
+
+        self._emit("on_train_end", task)
+        return self.history

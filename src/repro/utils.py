@@ -1,0 +1,44 @@
+"""Shared utilities: deterministic RNG management and small helpers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Return a root generator for ``seed``.
+
+    The library never touches numpy's global RNG; every stochastic component
+    takes a ``Generator``.  This function is the single entry point examples
+    and benches use to make runs reproducible.
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators.
+
+    Used to give each DDP rank / dataset / module its own stream, mirroring
+    per-process seeding in real distributed training.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Simple trailing moving average used when summarizing training curves."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(min(window, values.size)) / min(window, values.size)
+    return np.convolve(values, kernel, mode="valid")
+
+
+def human_count(n: float) -> str:
+    """Format large counts: 2_000_000 -> '2.0M'."""
+    for unit, scale in (("B", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f}{unit}"
+    return f"{n:.0f}"

@@ -1,0 +1,33 @@
+"""Shared fixtures: seeded RNGs and small reusable model/dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import StructureToGraph
+from repro.datasets import SymmetryPointCloudDataset
+from repro.models import EGNN
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_egnn(rng) -> EGNN:
+    return EGNN(hidden_dim=12, num_layers=2, position_dim=6, num_species=8, rng=rng)
+
+
+@pytest.fixture
+def graph_transform() -> StructureToGraph:
+    return StructureToGraph(cutoff=2.5)
+
+
+@pytest.fixture
+def tiny_symmetry_samples(graph_transform):
+    ds = SymmetryPointCloudDataset(
+        12, seed=3, group_names=["C1", "C2", "C4", "D2"], max_points=24
+    )
+    return [graph_transform(ds[i]) for i in range(len(ds))]

@@ -1,0 +1,171 @@
+"""Analysis: UMAP-lite behaviour and cluster metrics on known geometry."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    UMAPLite,
+    cluster_spread,
+    embed_dataset,
+    embed_datasets,
+    fit_ab_params,
+    neighbor_overlap_matrix,
+    silhouette_by_label,
+    smooth_knn_weights,
+)
+from repro.data.transforms import StructureToGraph
+from repro.datasets import SymmetryPointCloudDataset
+from repro.models import EGNN
+
+
+def make_blobs(rng, centers, n_per=30, scale=0.3, dim=5):
+    points, labels = [], []
+    for k, c in enumerate(centers):
+        points.append(rng.normal(size=(n_per, dim)) * scale + np.asarray(c))
+        labels.append(np.full(n_per, k))
+    return np.concatenate(points), np.concatenate(labels)
+
+
+class TestABFit:
+    def test_known_regime(self):
+        a, b = fit_ab_params(spread=1.0, min_dist=0.1)
+        # umap-learn's canonical values for these settings: a~1.58, b~0.9.
+        assert 1.2 < a < 2.0
+        assert 0.7 < b < 1.1
+
+    def test_smaller_min_dist_raises_a(self):
+        a1, _ = fit_ab_params(min_dist=0.5)
+        a2, _ = fit_ab_params(min_dist=0.01)
+        assert a2 > a1
+
+
+class TestSmoothKnn:
+    def test_shapes_and_positivity(self, rng):
+        dists = np.sort(rng.random((20, 8)) + 0.1, axis=1)
+        rho, sigma = smooth_knn_weights(dists)
+        assert rho.shape == (20,) and sigma.shape == (20,)
+        assert np.all(sigma > 0)
+        assert np.allclose(rho, dists[:, 0])
+
+    def test_bandwidth_solves_target(self, rng):
+        dists = np.sort(rng.random((10, 16)) + 0.1, axis=1)
+        rho, sigma = smooth_knn_weights(dists)
+        for i in range(10):
+            d = np.maximum(dists[i] - rho[i], 0)
+            psum = np.exp(-d / sigma[i]).sum()
+            assert psum == pytest.approx(np.log2(16), abs=0.05)
+
+
+class TestUMAPLite:
+    def test_output_shape(self, rng):
+        data, _ = make_blobs(rng, [[0] * 5, [10] + [0] * 4])
+        emb = UMAPLite(n_neighbors=10, n_epochs=30, seed=1).fit_transform(data)
+        assert emb.shape == (60, 2)
+        assert np.all(np.isfinite(emb))
+
+    def test_separates_well_separated_blobs(self, rng):
+        data, labels = make_blobs(rng, [[0] * 5, [25] + [0] * 4, [0, 25, 0, 0, 0]])
+        emb = UMAPLite(n_neighbors=10, n_epochs=120, seed=2).fit_transform(data)
+        sil = silhouette_by_label(emb, labels)
+        assert min(sil.values()) > 0.3
+
+    def test_deterministic_under_seed(self, rng):
+        data, _ = make_blobs(rng, [[0] * 5, [10] + [0] * 4], n_per=15)
+        e1 = UMAPLite(n_neighbors=8, n_epochs=20, seed=5).fit_transform(data)
+        e2 = UMAPLite(n_neighbors=8, n_epochs=20, seed=5).fit_transform(data)
+        assert np.allclose(e1, e2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            UMAPLite(n_neighbors=1)
+        with pytest.raises(ValueError):
+            UMAPLite(n_components=0)
+        with pytest.raises(ValueError):
+            UMAPLite().fit_transform(np.zeros((5,)))
+        with pytest.raises(ValueError):
+            UMAPLite(n_components=3).fit_transform(np.zeros((2, 4)))
+
+    def test_fuzzy_graph_is_symmetric(self, rng):
+        data, _ = make_blobs(rng, [[0] * 5], n_per=30)
+        umap = UMAPLite(n_neighbors=6, n_epochs=5, seed=0)
+        umap.fit_transform(data)
+        g = umap.graph_.tocsr()
+        assert np.allclose((g - g.T).toarray(), 0.0, atol=1e-12)
+
+
+class TestClusterMetrics:
+    def test_silhouette_perfect_separation(self, rng):
+        data, labels = make_blobs(rng, [[0, 0], [100, 0]], n_per=20, scale=0.1, dim=2)
+        sil = silhouette_by_label(data, labels)
+        assert sil[0] > 0.95 and sil[1] > 0.95
+
+    def test_silhouette_mixed_clusters_low(self, rng):
+        data = rng.normal(size=(60, 2))
+        labels = np.array([0, 1] * 30)
+        sil = silhouette_by_label(data, labels)
+        assert abs(sil[0]) < 0.2
+
+    def test_singleton_cluster_zero(self, rng):
+        data = rng.normal(size=(5, 2))
+        labels = np.array([0, 0, 0, 0, 1])
+        assert silhouette_by_label(data, labels)[1] == 0.0
+
+    def test_overlap_matrix_rows_sum_to_one(self, rng):
+        data, labels = make_blobs(rng, [[0, 0], [1, 0], [0, 1]], n_per=15, dim=2)
+        m = neighbor_overlap_matrix(data, labels, k=5)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_overlap_high_for_interleaved(self, rng):
+        a = rng.normal(size=(40, 2))
+        b = rng.normal(size=(40, 2))
+        data = np.concatenate([a, b])
+        labels = np.concatenate([np.zeros(40, int), np.ones(40, int)])
+        m = neighbor_overlap_matrix(data, labels, k=8)
+        assert m[0, 1] > 0.3  # heavy mixing
+
+    def test_overlap_low_for_separated(self, rng):
+        data, labels = make_blobs(rng, [[0, 0], [50, 0]], n_per=25, scale=0.2, dim=2)
+        m = neighbor_overlap_matrix(data, labels, k=5)
+        assert m[0, 1] < 0.05
+
+    def test_spread_ranks_dispersion(self, rng):
+        tight = rng.normal(size=(30, 3)) * 0.1
+        wide = rng.normal(size=(30, 3)) * 5.0
+        data = np.concatenate([tight, wide])
+        labels = np.concatenate([np.zeros(30, int), np.ones(30, int)])
+        spread = cluster_spread(data, labels)
+        assert spread[1] > 10 * spread[0]
+
+
+class TestEmbedding:
+    def test_embed_dataset_shape(self, rng):
+        enc = EGNN(hidden_dim=8, num_layers=1, position_dim=4, num_species=4, rng=rng)
+        ds = SymmetryPointCloudDataset(10, seed=1, group_names=["C2", "C4"])
+        tf = StructureToGraph(cutoff=2.5)
+        emb = embed_dataset(enc, ds, tf, batch_size=4)
+        assert emb.shape == (10, 8)
+
+    def test_max_samples_limits(self, rng):
+        enc = EGNN(hidden_dim=8, num_layers=1, position_dim=4, num_species=4, rng=rng)
+        ds = SymmetryPointCloudDataset(10, seed=1, group_names=["C2"])
+        tf = StructureToGraph(cutoff=2.5)
+        emb = embed_dataset(enc, ds, tf, batch_size=4, max_samples=5)
+        assert emb.shape[0] == 5
+
+    def test_embed_datasets_labels(self, rng):
+        enc = EGNN(hidden_dim=8, num_layers=1, position_dim=4, num_species=4, rng=rng)
+        tf = StructureToGraph(cutoff=2.5)
+        d1 = SymmetryPointCloudDataset(4, seed=1, group_names=["C2"])
+        d1.name = "one"
+        d2 = SymmetryPointCloudDataset(6, seed=2, group_names=["C4"])
+        d2.name = "two"
+        emb, labels, names = embed_datasets(enc, [d1, d2], tf)
+        assert emb.shape[0] == 10
+        assert names == ["one", "two"]
+        assert (labels == 0).sum() == 4 and (labels == 1).sum() == 6
+
+    def test_encoder_left_in_train_mode(self, rng):
+        enc = EGNN(hidden_dim=8, num_layers=1, position_dim=4, num_species=4, rng=rng)
+        ds = SymmetryPointCloudDataset(4, seed=1, group_names=["C2"])
+        embed_dataset(enc, ds, StructureToGraph(cutoff=2.5))
+        assert enc.training

@@ -1,0 +1,280 @@
+"""Gradcheck every functional primitive against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+
+
+class TestElementwiseGradients:
+    def test_exp(self, rng):
+        gradcheck(F.exp, [rng.normal(size=(3, 2))])
+
+    def test_log(self, rng):
+        gradcheck(F.log, [rng.uniform(0.5, 2.0, size=(4,))])
+
+    def test_sqrt(self, rng):
+        gradcheck(F.sqrt, [rng.uniform(0.5, 2.0, size=(4,))])
+
+    def test_abs_away_from_zero(self, rng):
+        gradcheck(F.abs, [rng.uniform(0.5, 1.0, size=(4,)) * np.array([1, -1, 1, -1])])
+
+    def test_tanh(self, rng):
+        gradcheck(F.tanh, [rng.normal(size=(5,))])
+
+    def test_sigmoid(self, rng):
+        gradcheck(F.sigmoid, [rng.normal(size=(5,))])
+
+    def test_relu_away_from_kink(self, rng):
+        x = rng.normal(size=(6,))
+        x[np.abs(x) < 0.1] = 0.5
+        gradcheck(F.relu, [x])
+
+    def test_silu(self, rng):
+        gradcheck(F.silu, [rng.normal(size=(4, 3))])
+
+    def test_selu(self, rng):
+        x = rng.normal(size=(8,))
+        x[np.abs(x) < 0.05] = 0.3
+        gradcheck(F.selu, [x])
+
+    def test_softplus(self, rng):
+        gradcheck(F.softplus, [rng.normal(size=(5,))])
+
+    def test_clip_interior(self, rng):
+        gradcheck(lambda x: F.clip(x, -10.0, 10.0), [rng.normal(size=(5,))])
+
+    def test_clip_kills_gradient_outside(self):
+        x = Tensor([-20.0, 0.0, 20.0], requires_grad=True)
+        F.clip(x, -10.0, 10.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestElementwiseValues:
+    def test_sigmoid_extremes_stable(self):
+        out = F.sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data, [0.0, 1.0])
+
+    def test_selu_constants(self):
+        # SELU(0) = 0, SELU(1) = scale for positive branch.
+        out = F.selu(Tensor([0.0, 1.0]))
+        assert np.allclose(out.data, [0.0, 1.0507009873554805])
+
+    def test_silu_at_zero(self):
+        assert np.allclose(F.silu(Tensor([0.0])).data, [0.0])
+
+    def test_where_selects(self):
+        out = F.where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_where_grad_masks(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        F.where(np.array([True, False]), a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+
+class TestComposition:
+    def test_concat_values_and_grad(self, rng):
+        gradcheck(
+            lambda a, b: F.concat([a, b], axis=0),
+            [rng.normal(size=(2, 3)), rng.normal(size=(4, 3))],
+        )
+        gradcheck(
+            lambda a, b: F.concat([a, b], axis=1),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 2))],
+        )
+
+    def test_stack(self, rng):
+        gradcheck(
+            lambda a, b: F.stack([a, b], axis=0),
+            [rng.normal(size=(3,)), rng.normal(size=(3,))],
+        )
+
+    def test_pad_rows(self, rng):
+        x = rng.normal(size=(2, 3))
+        out = F.pad_rows(Tensor(x), 5)
+        assert out.shape == (5, 3)
+        assert np.allclose(out.data[:2], x)
+        assert np.allclose(out.data[2:], 0.0)
+        gradcheck(lambda a: F.pad_rows(a, 4), [x])
+
+    def test_pad_rows_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            F.pad_rows(Tensor(np.zeros((3, 2))), 2)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 6))))
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_grad(self, rng):
+        gradcheck(lambda x: F.softmax(x, axis=-1), [rng.normal(size=(3, 4))])
+
+    def test_log_softmax_grad(self, rng):
+        gradcheck(lambda x: F.log_softmax(x, axis=-1), [rng.normal(size=(3, 4))])
+
+    def test_log_softmax_stable_for_large_logits(self):
+        out = F.log_softmax(Tensor([[1000.0, 0.0]]))
+        assert np.all(np.isfinite(out.data))
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = np.array([0, 1, 2, 1, 0])
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(5), labels].mean()
+        assert np.isclose(F.cross_entropy(Tensor(logits), labels).item(), expected)
+
+    def test_cross_entropy_grad(self, rng):
+        labels = np.array([0, 2, 1])
+        gradcheck(lambda x: F.cross_entropy(x, labels), [rng.normal(size=(3, 4))])
+
+    def test_bce_with_logits_matches_manual(self, rng):
+        z = rng.normal(size=(6,))
+        y = (rng.random(6) > 0.5).astype(float)
+        p = 1 / (1 + np.exp(-z))
+        expected = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        assert np.isclose(
+            F.binary_cross_entropy_with_logits(Tensor(z), y).item(), expected
+        )
+
+    def test_bce_grad(self, rng):
+        y = np.array([1.0, 0.0, 1.0])
+        gradcheck(
+            lambda x: F.binary_cross_entropy_with_logits(x, y),
+            [rng.normal(size=(3,))],
+        )
+
+    def test_bce_stable_extremes(self):
+        out = F.binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(out.item())
+        assert out.item() < 1e-6
+
+
+class TestLosses:
+    def test_mse_value_and_grad(self, rng):
+        pred = rng.normal(size=(4,))
+        target = rng.normal(size=(4,))
+        assert np.isclose(
+            F.mse_loss(Tensor(pred), target).item(), ((pred - target) ** 2).mean()
+        )
+        gradcheck(lambda x: F.mse_loss(x, target), [pred])
+
+    def test_l1_value_and_grad(self, rng):
+        pred = rng.normal(size=(4,)) + 5.0  # keep away from |.| kink
+        target = rng.normal(size=(4,))
+        assert np.isclose(
+            F.l1_loss(Tensor(pred), target).item(), np.abs(pred - target).mean()
+        )
+        gradcheck(lambda x: F.l1_loss(x, target), [pred])
+
+    def test_huber_quadratic_region_matches_half_mse(self, rng):
+        pred = rng.normal(size=(4,)) * 0.1
+        target = np.zeros(4)
+        assert np.isclose(
+            F.huber_loss(Tensor(pred), target, delta=10.0).item(),
+            0.5 * (pred**2).mean(),
+        )
+
+    def test_huber_grad(self, rng):
+        target = np.zeros(4)
+        gradcheck(
+            lambda x: F.huber_loss(x, target, delta=0.5),
+            [np.array([0.1, 2.0, -3.0, 0.2])],
+        )
+
+
+class TestDropout:
+    def test_identity_when_eval_or_zero(self, rng):
+        x = Tensor(rng.normal(size=(10,)))
+        assert F.dropout(x, 0.5, rng, training=False) is x
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_rejects_p_one(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, rng)
+
+    def test_grad_uses_same_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100), requires_grad=True)
+        out = F.dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        # Gradient equals the mask itself.
+        assert np.allclose(x.grad, out.data)
+
+
+class TestSegmentOps:
+    def test_index_select_values(self, rng):
+        x = rng.normal(size=(5, 3))
+        idx = np.array([4, 0, 0, 2])
+        assert np.allclose(F.index_select(Tensor(x), idx).data, x[idx])
+
+    def test_index_select_grad(self, rng):
+        idx = np.array([0, 0, 1, 3])
+        gradcheck(lambda x: F.index_select(x, idx), [rng.normal(size=(4, 2))])
+
+    def test_segment_sum_2d(self, rng):
+        x = rng.normal(size=(5, 2))
+        seg = np.array([0, 1, 0, 2, 1])
+        out = F.segment_sum(Tensor(x), seg, 3)
+        assert np.allclose(out.data[0], x[0] + x[2])
+        assert np.allclose(out.data[1], x[1] + x[4])
+        assert np.allclose(out.data[2], x[3])
+
+    def test_segment_sum_1d(self, rng):
+        x = rng.normal(size=(5,))
+        seg = np.array([1, 1, 0, 0, 1])
+        out = F.segment_sum(Tensor(x), seg, 2)
+        assert np.allclose(out.data, [x[2] + x[3], x[0] + x[1] + x[4]])
+
+    def test_segment_sum_grad(self, rng):
+        seg = np.array([0, 1, 0, 2, 1])
+        gradcheck(lambda x: F.segment_sum(x, seg, 3), [rng.normal(size=(5, 2))])
+
+    def test_segment_sum_empty_segment_zero(self, rng):
+        out = F.segment_sum(Tensor(rng.normal(size=(2, 2))), np.array([0, 0]), 3)
+        assert np.allclose(out.data[1:], 0.0)
+
+    def test_segment_mean_values(self, rng):
+        x = rng.normal(size=(4, 2))
+        seg = np.array([0, 0, 0, 1])
+        out = F.segment_mean(Tensor(x), seg, 2)
+        assert np.allclose(out.data[0], x[:3].mean(axis=0))
+        assert np.allclose(out.data[1], x[3])
+
+    def test_segment_mean_grad(self, rng):
+        seg = np.array([0, 0, 1])
+        gradcheck(lambda x: F.segment_mean(x, seg, 2), [rng.normal(size=(3, 2))])
+
+    def test_segment_softmax_sums_to_one_per_segment(self, rng):
+        x = rng.normal(size=(6,))
+        seg = np.array([0, 0, 1, 1, 1, 2])
+        out = F.segment_softmax(Tensor(x), seg, 3)
+        for s in range(3):
+            assert np.isclose(out.data[seg == s].sum(), 1.0)
+
+    def test_segment_softmax_grad(self, rng):
+        seg = np.array([0, 0, 1, 1])
+        gradcheck(lambda x: F.segment_softmax(x, seg, 2), [rng.normal(size=(4,))])
+
+    def test_pairwise_sq_dist(self, rng):
+        x = rng.normal(size=(4, 3))
+        src = np.array([0, 1])
+        dst = np.array([2, 3])
+        out = F.pairwise_sq_dist(Tensor(x), src, dst)
+        expected = ((x[src] - x[dst]) ** 2).sum(axis=1, keepdims=True)
+        assert np.allclose(out.data, expected)
+        gradcheck(lambda t: F.pairwise_sq_dist(t, src, dst), [x])

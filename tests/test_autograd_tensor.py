@@ -1,0 +1,211 @@
+"""Tensor core: arithmetic, broadcasting, shape ops, tape mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, no_grad, is_grad_enabled
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_from_tensor_shares_nothing_about_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor(a)
+        assert not b._parents
+
+    def test_ints_coerced_to_float(self):
+        t = Tensor([1, 2])
+        assert t.data.dtype == np.float64
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_bool_raises(self):
+        with pytest.raises(TypeError):
+            bool(Tensor([1.0]))
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        assert np.allclose((Tensor([1.0]) + 2.0).data, [3.0])
+        assert np.allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub_and_rsub(self):
+        assert np.allclose((Tensor([5.0]) - 2.0).data, [3.0])
+        assert np.allclose((2.0 - Tensor([5.0])).data, [-3.0])
+
+    def test_mul_div(self):
+        assert np.allclose((Tensor([2.0]) * 3.0).data, [6.0])
+        assert np.allclose((Tensor([6.0]) / 3.0).data, [2.0])
+        assert np.allclose((3.0 / Tensor([6.0])).data, [0.5])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow_scalar_only(self):
+        assert np.allclose((Tensor([2.0]) ** 3).data, [8.0])
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_matmul_2d(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(3, 4)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_comparisons_return_numpy(self):
+        mask = Tensor([1.0, 3.0]) > 2.0
+        assert isinstance(mask, np.ndarray)
+        assert mask.tolist() == [False, True]
+
+
+class TestGradients:
+    def test_add_grad(self, rng):
+        gradcheck(lambda a, b: a + b, [rng.normal(size=(3,)), rng.normal(size=(3,))])
+
+    def test_mul_grad(self, rng):
+        gradcheck(lambda a, b: a * b, [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))])
+
+    def test_div_grad(self, rng):
+        gradcheck(
+            lambda a, b: a / b,
+            [rng.normal(size=(4,)), rng.uniform(0.5, 2.0, size=(4,))],
+        )
+
+    def test_rsub_rdiv_grad(self, rng):
+        gradcheck(lambda a: 3.0 - a, [rng.normal(size=(3,))])
+        gradcheck(lambda a: 2.0 / a, [rng.uniform(1.0, 2.0, size=(3,))])
+
+    def test_pow_grad(self, rng):
+        gradcheck(lambda a: a**3, [rng.uniform(0.5, 1.5, size=(5,))])
+
+    def test_broadcast_add_grad(self, rng):
+        gradcheck(
+            lambda a, b: a + b, [rng.normal(size=(4, 3)), rng.normal(size=(3,))]
+        )
+
+    def test_broadcast_mul_row_col(self, rng):
+        gradcheck(
+            lambda a, b: a * b, [rng.normal(size=(4, 1)), rng.normal(size=(1, 5))]
+        )
+
+    def test_matmul_grads(self, rng):
+        gradcheck(
+            lambda a, b: a @ b, [rng.normal(size=(3, 4)), rng.normal(size=(4, 2))]
+        )
+
+    def test_matmul_vector_cases(self, rng):
+        gradcheck(lambda a, b: a @ b, [rng.normal(size=(4,)), rng.normal(size=(4,))])
+        gradcheck(lambda a, b: a @ b, [rng.normal(size=(4,)), rng.normal(size=(4, 2))])
+        gradcheck(lambda a, b: a @ b, [rng.normal(size=(3, 4)), rng.normal(size=(4,))])
+
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_backward_requires_scalar(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [3.0, 30.0])
+
+    def test_no_grad_blocks_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        gradcheck(lambda a: a.reshape(6), [rng.normal(size=(2, 3))])
+        gradcheck(lambda a: a.reshape(3, 2), [rng.normal(size=(2, 3))])
+
+    def test_transpose_grad(self, rng):
+        gradcheck(lambda a: a.T, [rng.normal(size=(2, 3))])
+        gradcheck(lambda a: a.transpose(1, 0, 2), [rng.normal(size=(2, 3, 4))])
+
+    def test_squeeze_unsqueeze(self, rng):
+        gradcheck(lambda a: a.squeeze(0), [rng.normal(size=(1, 3))])
+        gradcheck(lambda a: a.unsqueeze(1), [rng.normal(size=(3,))])
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        y = x[np.array([0, 0, 2])]
+        y.sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_slice_grad(self, rng):
+        gradcheck(lambda a: a[1:3], [rng.normal(size=(5,))])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        gradcheck(lambda a: a.sum(), [rng.normal(size=(3, 4))])
+        gradcheck(lambda a: a.sum(axis=0), [rng.normal(size=(3, 4))])
+        gradcheck(lambda a: a.sum(axis=1, keepdims=True), [rng.normal(size=(3, 4))])
+        gradcheck(lambda a: a.sum(axis=(0, 1)), [rng.normal(size=(3, 4))])
+
+    def test_mean_matches_manual(self, rng):
+        x = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(x).mean(axis=1).data, x.mean(axis=1))
+        gradcheck(lambda a: a.mean(axis=0), [x])
+
+    def test_max_min(self, rng):
+        x = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(x).max().data, x.max())
+        assert np.allclose(Tensor(x).min(axis=1).data, x.min(axis=1))
+        gradcheck(lambda a: a.max(axis=1), [x])
+        gradcheck(lambda a: a.min(), [x])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.5, 0.5])
+
+
+class TestConvenienceMethods:
+    def test_exp_log_sqrt_tanh_abs_clip(self, rng):
+        x = rng.uniform(0.5, 2.0, size=(3,))
+        t = Tensor(x)
+        assert np.allclose(t.exp().data, np.exp(x))
+        assert np.allclose(t.log().data, np.log(x))
+        assert np.allclose(t.sqrt().data, np.sqrt(x))
+        assert np.allclose(t.tanh().data, np.tanh(x))
+        assert np.allclose(t.abs().data, np.abs(x))
+        assert np.allclose(t.clip(0.6, 1.5).data, np.clip(x, 0.6, 1.5))

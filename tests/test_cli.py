@@ -1,0 +1,85 @@
+"""CLI: every command parses and the cheap ones run end-to-end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("pretrain", "finetune", "multitask", "explore", "scaling", "datasets"):
+            args = parser.parse_args([cmd] if cmd in ("datasets",) else [cmd])
+            assert args.command == cmd
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_encoder_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pretrain", "--encoder", "transformer"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["finetune"])
+        assert args.target == "band_gap"
+        assert args.world_size == 16
+        assert not args.pretrained
+
+
+class TestExecution:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("symmetry", "materials_project", "carolina", "oc20", "oc22", "lips"):
+            assert name in out
+
+    def test_scaling_command(self, capsys):
+        assert main(["scaling", "--workers", "16", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out
+        assert "64" in out
+
+    def test_pretrain_tiny(self, capsys):
+        code = main(
+            [
+                "pretrain",
+                "--samples", "24",
+                "--epochs", "1",
+                "--world-size", "2",
+                "--hidden-dim", "8",
+                "--layers", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "val CE" in out
+        assert "throughput" in out
+
+    def test_finetune_tiny_scratch(self, capsys):
+        code = main(
+            [
+                "finetune",
+                "--samples", "24",
+                "--epochs", "1",
+                "--world-size", "2",
+                "--hidden-dim", "8",
+                "--layers", "1",
+            ]
+        )
+        assert code == 0
+        assert "final" in capsys.readouterr().out
+
+    def test_multitask_tiny_scratch(self, capsys):
+        code = main(
+            [
+                "multitask",
+                "--samples", "20",
+                "--epochs", "1",
+                "--world-size", "2",
+                "--hidden-dim", "8",
+                "--layers", "1",
+            ]
+        )
+        assert code == 0
+        assert "band_gap_mae" in capsys.readouterr().out

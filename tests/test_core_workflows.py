@@ -1,0 +1,177 @@
+"""Core workflows: each paper experiment runs end-to-end at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EncoderConfig,
+    FinetuneConfig,
+    MultiTaskConfig,
+    OptimizerConfig,
+    PretrainConfig,
+    cached_pretrained_encoder,
+    explore_datasets,
+    pretrain_symmetry,
+    train_band_gap,
+    train_multitask,
+)
+from repro.core.pipeline import build_encoder_from_config, default_transform
+from repro.core.workflows import TABLE1_METRICS, TABLE1_SPECS
+
+TINY_ENCODER = dict(hidden_dim=16, num_layers=1, position_dim=6)
+GROUPS = ["C1", "C2", "C4", "D2"]
+
+
+def tiny_pretrain_config(**overrides):
+    cfg = PretrainConfig(
+        encoder=EncoderConfig(**TINY_ENCODER),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=2),
+        group_names=GROUPS,
+        train_samples=32,
+        val_samples=16,
+        world_size=4,
+        batch_per_worker=2,
+        max_epochs=2,
+        head_hidden_dim=16,
+        head_blocks=1,
+        seed=3,
+    )
+    for k, v in overrides.items():
+        setattr(cfg, k, v)
+    return cfg
+
+
+class TestPretrainWorkflow:
+    def test_runs_and_reports(self):
+        res = pretrain_symmetry(tiny_pretrain_config())
+        assert res.final_val_ce is not None
+        assert res.final_val_ce > 0
+        assert res.throughput.samples_per_second > 0
+        assert len(res.lr_trace) == 2
+
+    def test_lr_scaled_by_world_size(self):
+        res = pretrain_symmetry(tiny_pretrain_config())
+        # warmup_epochs=2: after 2 epochs lr should be at peak = base * world.
+        peak = max(lr for _, lr in res.lr_trace)
+        assert peak == pytest.approx(1e-3 * 4, rel=0.3)
+
+    def test_world_size_one_uses_single_process(self):
+        res = pretrain_symmetry(tiny_pretrain_config(world_size=1, batch_per_worker=8))
+        assert res.final_val_ce is not None
+
+    def test_effective_batch(self):
+        assert tiny_pretrain_config().effective_batch == 8
+
+    def test_step_limited_run(self):
+        res = pretrain_symmetry(
+            tiny_pretrain_config(max_steps=3, max_epochs=100, val_every_n_steps=1)
+        )
+        steps, _ = res.history.series("val", "ce")
+        assert steps == [1, 2, 3]
+
+
+class TestCachedEncoder:
+    def test_cache_roundtrip(self, tmp_path):
+        path = str(tmp_path / "enc.npz")
+        cfg = tiny_pretrain_config()
+        state1 = cached_pretrained_encoder(cfg, cache_path=path)
+        state2 = cached_pretrained_encoder(cfg, cache_path=path)  # from disk
+        assert set(state1) == set(state2)
+        for k in state1:
+            assert np.allclose(state1[k], state2[k])
+
+    def test_state_loads_into_fresh_encoder(self, tmp_path):
+        path = str(tmp_path / "enc.npz")
+        cfg = tiny_pretrain_config()
+        state = cached_pretrained_encoder(cfg, cache_path=path)
+        enc = build_encoder_from_config(cfg.encoder, rng=np.random.default_rng(0))
+        enc.load_state_dict(state)
+
+
+def tiny_finetune_config(**overrides):
+    cfg = FinetuneConfig(
+        encoder=EncoderConfig(**TINY_ENCODER),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=2),
+        train_samples=24,
+        val_samples=8,
+        batch_size=8,
+        max_epochs=2,
+        head_hidden_dim=16,
+        head_blocks=1,
+        seed=5,
+    )
+    for k, v in overrides.items():
+        setattr(cfg, k, v)
+    return cfg
+
+
+class TestBandGapWorkflow:
+    def test_scratch_run(self):
+        res = train_band_gap(tiny_finetune_config())
+        assert len(res.curve_mae) == 2
+        assert all(np.isfinite(v) for v in res.curve_mae)
+        assert res.final_mae == res.curve_mae[-1]
+        assert res.best_mae <= res.final_mae + 1e-12
+
+    def test_pretrained_arm_uses_smaller_lr(self, tmp_path):
+        state = cached_pretrained_encoder(
+            tiny_pretrain_config(), cache_path=str(tmp_path / "e.npz")
+        )
+        res = train_band_gap(tiny_finetune_config(), pretrained_state=state)
+        assert np.isfinite(res.final_mae)
+
+    def test_mae_at_fraction(self):
+        res = train_band_gap(tiny_finetune_config())
+        assert res.mae_at_fraction(0.0) == res.curve_mae[0]
+        assert res.mae_at_fraction(1.0) == res.curve_mae[-1]
+
+
+def tiny_multitask_config(**overrides):
+    cfg = MultiTaskConfig(
+        encoder=EncoderConfig(**TINY_ENCODER),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=2),
+        mp_samples=24,
+        carolina_samples=12,
+        batch_size=8,
+        max_epochs=2,
+        head_hidden_dim=16,
+        head_blocks=2,
+        seed=9,
+    )
+    for k, v in overrides.items():
+        setattr(cfg, k, v)
+    return cfg
+
+
+class TestMultiTaskWorkflow:
+    def test_reports_all_table1_metrics(self):
+        res = train_multitask(tiny_multitask_config())
+        for key in TABLE1_METRICS:
+            assert key in res.final_metrics, key
+            assert np.isfinite(res.final_metrics[key])
+
+    def test_table_row_order(self):
+        res = train_multitask(tiny_multitask_config())
+        row = res.table_row()
+        assert len(row) == 5
+        assert row[0] == res.final_metrics["band_gap_mae"]
+
+    def test_specs_match_paper_columns(self):
+        names = [s.name for s in TABLE1_SPECS]
+        assert names == ["band_gap", "fermi", "mp_eform", "stability", "cmd_eform"]
+        datasets = {s.dataset for s in TABLE1_SPECS}
+        assert datasets == {"materials_project", "carolina"}
+
+
+class TestExplorationWorkflow:
+    def test_full_exploration(self, rng):
+        enc = build_encoder_from_config(
+            EncoderConfig(**TINY_ENCODER), rng=rng
+        )
+        res = explore_datasets(enc, samples_per_dataset=12, umap_epochs=20)
+        assert res.names == ["oc20", "oc22", "materials_project", "carolina", "lips"]
+        assert res.projection.shape == (60, 2)
+        assert res.overlap.shape == (5, 5)
+        assert np.allclose(res.overlap.sum(axis=1), 1.0)
+        sil = res.by_name(res.silhouettes)
+        assert set(sil) == set(res.names)

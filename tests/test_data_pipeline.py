@@ -1,0 +1,268 @@
+"""Data layer: structures, datasets, splits, collation, loaders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ConcatDataset,
+    DataLoader,
+    DistributedSampler,
+    GraphSample,
+    InMemoryDataset,
+    PointCloudSample,
+    Structure,
+    Subset,
+    collate_graphs,
+    collate_point_clouds,
+    train_val_split,
+    train_val_test_split,
+)
+
+
+def make_structure(n=4, seed=0, **targets):
+    rng = np.random.default_rng(seed)
+    return Structure(
+        positions=rng.normal(size=(n, 3)),
+        species=rng.integers(1, 5, size=n),
+        targets={k: np.float64(v) for k, v in targets.items()},
+        metadata={"dataset": "toy"},
+    )
+
+
+def make_graph_sample(n=4, e=6, seed=0, **targets):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=e)
+    dst = (src + 1 + rng.integers(0, n - 1, size=e)) % n
+    return GraphSample(
+        positions=rng.normal(size=(n, 3)),
+        species=rng.integers(1, 5, size=n),
+        edge_src=src,
+        edge_dst=dst,
+        targets={k: np.float64(v) for k, v in targets.items()},
+        metadata={"dataset": "toy"},
+    )
+
+
+class TestStructure:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            Structure(positions=np.zeros((3, 2)), species=np.zeros(3))
+        with pytest.raises(ValueError):
+            Structure(positions=np.zeros((3, 3)), species=np.zeros(4))
+
+    def test_centered(self):
+        s = make_structure(5, seed=1)
+        c = s.centered()
+        assert np.allclose(c.positions.mean(axis=0), 0.0)
+        assert c.num_atoms == 5
+
+    def test_graph_sample_edge_validation(self):
+        with pytest.raises(ValueError):
+            GraphSample(
+                positions=np.zeros((2, 3)),
+                species=np.zeros(2),
+                edge_src=np.array([0]),
+                edge_dst=np.array([5]),
+            )
+
+
+class TestDatasets:
+    def test_in_memory_basics(self):
+        ds = InMemoryDataset([1, 2, 3], name="x")
+        assert len(ds) == 3
+        assert list(ds) == [1, 2, 3]
+
+    def test_subset_view(self):
+        ds = InMemoryDataset(list(range(10)))
+        sub = Subset(ds, [9, 0, 5])
+        assert len(sub) == 3
+        assert [sub[i] for i in range(3)] == [9, 0, 5]
+
+    def test_concat_indexing_and_provenance(self):
+        a = InMemoryDataset([10, 11], name="a")
+        b = InMemoryDataset([20, 21, 22], name="b")
+        cat = ConcatDataset([a, b])
+        assert len(cat) == 5
+        assert cat[0] == 10 and cat[2] == 20 and cat[4] == 22
+        assert cat[-1] == 22
+        assert cat.source_of(1) == (0, "a")
+        assert cat.source_of(3) == (1, "b")
+        with pytest.raises(IndexError):
+            cat[5]
+
+    def test_concat_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            ConcatDataset([])
+
+    def test_materialize_preserves_name(self):
+        ds = InMemoryDataset([1], name="named")
+        assert ds.materialize().name == "named"
+
+
+class TestSplits:
+    def test_disjoint_and_complete(self, rng):
+        ds = InMemoryDataset(list(range(100)))
+        train, val = train_val_split(ds, 0.2, rng)
+        ids = set(train.indices) | set(val.indices)
+        assert len(train) == 80 and len(val) == 20
+        assert ids == set(range(100))
+        assert not set(train.indices) & set(val.indices)
+
+    def test_deterministic_given_seed(self):
+        ds = InMemoryDataset(list(range(50)))
+        a = train_val_split(ds, 0.3, np.random.default_rng(5))
+        b = train_val_split(ds, 0.3, np.random.default_rng(5))
+        assert a[0].indices == b[0].indices
+
+    def test_three_way(self, rng):
+        ds = InMemoryDataset(list(range(100)))
+        tr, va, te = train_val_test_split(ds, 0.2, 0.1, rng)
+        assert len(tr) == 70 and len(va) == 20 and len(te) == 10
+        assert not (set(va.indices) & set(te.indices))
+
+    def test_invalid_fraction(self, rng):
+        ds = InMemoryDataset(list(range(10)))
+        with pytest.raises(ValueError):
+            train_val_split(ds, 1.5, rng)
+        with pytest.raises(ValueError):
+            train_val_test_split(ds, 0.6, 0.5, rng)
+
+
+class TestCollation:
+    def test_node_and_edge_offsets(self):
+        s1 = make_graph_sample(3, 4, seed=1, y=1.0)
+        s2 = make_graph_sample(5, 6, seed=2, y=2.0)
+        batch = collate_graphs([s1, s2])
+        assert batch.num_nodes == 8
+        assert batch.num_edges == 10
+        assert batch.num_graphs == 2
+        # second sample's edges shifted by 3
+        assert batch.edge_src[4:].min() >= 3
+        assert np.allclose(batch.node_graph, [0, 0, 0, 1, 1, 1, 1, 1])
+        assert np.allclose(batch.targets["y"], [1.0, 2.0])
+
+    def test_missing_targets_become_nan(self):
+        s1 = make_graph_sample(2, 2, seed=1, a=1.0)
+        s2 = make_graph_sample(2, 2, seed=2, b=2.0)
+        batch = collate_graphs([s1, s2])
+        assert np.isnan(batch.targets["a"][1])
+        assert np.isnan(batch.targets["b"][0])
+
+    def test_array_targets_concatenate(self):
+        s1 = make_graph_sample(2, 2, seed=1)
+        s2 = make_graph_sample(3, 2, seed=2)
+        s1.targets["forces"] = np.ones((2, 3))
+        s2.targets["forces"] = np.zeros((3, 3))
+        batch = collate_graphs([s1, s2])
+        assert batch.targets["forces"].shape[0] == 5
+
+    def test_dataset_metadata_propagates(self):
+        batch = collate_graphs([make_graph_sample(seed=1), make_graph_sample(seed=2)])
+        assert list(batch.metadata["dataset"]) == ["toy", "toy"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            collate_graphs([])
+
+    def test_point_cloud_collation(self):
+        pc1 = PointCloudSample(np.zeros((2, 3)), np.ones(2), targets={"y": 1.0})
+        pc2 = PointCloudSample(np.ones((3, 3)), np.ones(3), targets={"y": 2.0})
+        batch = collate_point_clouds([pc1, pc2])
+        assert batch.num_nodes == 5
+        assert batch.num_edges == 0
+        assert np.allclose(batch.node_graph, [0, 0, 1, 1, 1])
+
+
+class TestLoaders:
+    def test_sequential_batching(self):
+        ds = InMemoryDataset(list(range(10)))
+        loader = DataLoader(ds, batch_size=3, collate_fn=list)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[0] == [0, 1, 2]
+        assert batches[-1] == [9]
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        ds = InMemoryDataset(list(range(10)))
+        loader = DataLoader(ds, batch_size=3, collate_fn=list, drop_last=True)
+        assert len(list(loader)) == 3
+        assert len(loader) == 3
+
+    def test_shuffle_permutes_and_covers(self, rng):
+        ds = InMemoryDataset(list(range(20)))
+        loader = DataLoader(ds, batch_size=20, shuffle=True, rng=rng, collate_fn=list)
+        batch = next(iter(loader))
+        assert sorted(batch) == list(range(20))
+        assert batch != list(range(20))  # astronomically unlikely to be sorted
+
+    def test_shuffle_and_sampler_mutually_exclusive(self, rng):
+        ds = InMemoryDataset([1, 2])
+        from repro.data.loaders import SequentialSampler
+
+        with pytest.raises(ValueError):
+            DataLoader(ds, 1, sampler=SequentialSampler(ds), shuffle=True)
+
+    def test_transform_applied(self):
+        ds = InMemoryDataset([1, 2, 3])
+        loader = DataLoader(ds, batch_size=3, collate_fn=list, transform=lambda x: x * 10)
+        assert next(iter(loader)) == [10, 20, 30]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(InMemoryDataset([1]), batch_size=0)
+
+
+class TestDistributedSampler:
+    @given(
+        n=st.integers(8, 100),
+        world=st.sampled_from([2, 4, 8]),
+        epoch=st.integers(0, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ranks_partition_the_data(self, n, world, epoch):
+        ds = InMemoryDataset(list(range(n)))
+        all_indices = []
+        for rank in range(world):
+            s = DistributedSampler(ds, world, rank, seed=1)
+            s.set_epoch(epoch)
+            all_indices.append(list(s))
+        flat = [i for sub in all_indices for i in sub]
+        # Disjoint across ranks, equal share each, subset of the dataset.
+        assert len(flat) == len(set(flat))
+        usable = (n // world) * world
+        assert len(flat) == usable
+        sizes = {len(sub) for sub in all_indices}
+        assert sizes == {n // world}
+
+    def test_epoch_changes_order(self):
+        ds = InMemoryDataset(list(range(64)))
+        s = DistributedSampler(ds, 4, 0, seed=3)
+        s.set_epoch(0)
+        a = list(s)
+        s.set_epoch(1)
+        b = list(s)
+        assert a != b
+
+    def test_same_epoch_reproducible(self):
+        ds = InMemoryDataset(list(range(32)))
+        s1 = DistributedSampler(ds, 2, 1, seed=9)
+        s2 = DistributedSampler(ds, 2, 1, seed=9)
+        s1.set_epoch(5)
+        s2.set_epoch(5)
+        assert list(s1) == list(s2)
+
+    def test_pad_mode_covers_everything(self):
+        ds = InMemoryDataset(list(range(10)))
+        collected = []
+        for rank in range(4):
+            s = DistributedSampler(ds, 4, rank, shuffle=False, drop_last=False)
+            collected.extend(s)
+        assert set(collected) == set(range(10))
+        assert len(collected) == 12  # padded to multiple of 4
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(InMemoryDataset([1]), 2, 2)

@@ -1,0 +1,269 @@
+"""Transforms: graph construction, augmentation, features, normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import GraphSample, PointCloudSample, Structure
+from repro.data.transforms import (
+    CenterPositions,
+    Compose,
+    DistanceEdgeFeatures,
+    GaussianPositionNoise,
+    Lambda,
+    PermuteNodes,
+    PointCloudToGraph,
+    RandomRotation,
+    StructureToGraph,
+    StructureToPointCloud,
+    TargetNormalizer,
+    knn_graph,
+    periodic_radius_graph,
+    radius_graph,
+)
+
+
+def square_positions():
+    return np.array(
+        [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [1.0, 1.0, 0.0]]
+    )
+
+
+class TestRadiusGraph:
+    def test_unit_square(self):
+        src, dst = radius_graph(square_positions(), cutoff=1.1)
+        # 4 edges of the square, both directions
+        assert len(src) == 8
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (0, 3) not in pairs  # diagonal excluded
+
+    def test_includes_diagonal_at_larger_cutoff(self):
+        src, dst = radius_graph(square_positions(), cutoff=1.5)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 3) in pairs
+
+    def test_no_self_loops(self):
+        src, dst = radius_graph(np.random.default_rng(0).normal(size=(20, 3)), 2.0)
+        assert np.all(src != dst)
+
+    def test_symmetric(self):
+        src, dst = radius_graph(np.random.default_rng(1).normal(size=(15, 3)), 1.5)
+        fwd = set(zip(src.tolist(), dst.tolist()))
+        assert all((j, i) in fwd for i, j in fwd)
+
+    def test_empty_inputs(self):
+        src, dst = radius_graph(np.zeros((0, 3)), 1.0)
+        assert len(src) == 0
+        src, dst = radius_graph(np.zeros((1, 3)), 1.0)
+        assert len(src) == 0
+
+
+class TestKnnGraph:
+    def test_out_degree(self):
+        src, dst = knn_graph(np.random.default_rng(0).normal(size=(10, 3)), k=3)
+        assert len(src) == 30
+        counts = np.bincount(src, minlength=10)
+        assert np.all(counts == 3)
+
+    def test_k_clamped_to_n_minus_one(self):
+        src, dst = knn_graph(np.random.default_rng(0).normal(size=(3, 3)), k=10)
+        counts = np.bincount(src, minlength=3)
+        assert np.all(counts == 2)
+
+    def test_nearest_is_selected(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [5.0, 0, 0]])
+        src, dst = knn_graph(pos, k=1)
+        pairs = dict(zip(src.tolist(), dst.tolist()))
+        assert pairs[0] == 1 and pairs[1] == 0 and pairs[2] == 1
+
+    def test_single_point(self):
+        src, _ = knn_graph(np.zeros((1, 3)), k=2)
+        assert len(src) == 0
+
+
+class TestPeriodicRadiusGraph:
+    def test_finds_image_neighbours(self):
+        cell = np.eye(3) * 10.0
+        pos = np.array([[0.5, 5.0, 5.0], [9.5, 5.0, 5.0]])
+        src, dst, disp = periodic_radius_graph(pos, cell, cutoff=2.0)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 1) in pairs
+        # Displacement goes through the boundary: length 1, not 9.
+        d01 = disp[(src == 0) & (dst == 1)]
+        assert np.isclose(np.linalg.norm(d01, axis=1).min(), 1.0)
+
+    def test_self_image_interaction(self):
+        """An atom can neighbour its own periodic image in a small cell."""
+        cell = np.eye(3) * 2.0
+        pos = np.array([[1.0, 1.0, 1.0]])
+        src, dst, disp = periodic_radius_graph(pos, cell, cutoff=2.1)
+        assert len(src) >= 6  # six face images
+        assert np.all(src == 0) and np.all(dst == 0)
+
+    def test_empty(self):
+        src, dst, disp = periodic_radius_graph(np.zeros((0, 3)), np.eye(3), 1.0)
+        assert len(src) == 0 and disp.shape == (0, 3)
+
+
+class TestConversionTransforms:
+    def make_structure(self):
+        return Structure(
+            positions=square_positions() + 5.0,
+            species=np.array([1, 2, 3, 4]),
+            targets={"y": np.float64(2.0)},
+            metadata={"dataset": "toy"},
+        )
+
+    def test_structure_to_graph_centers(self):
+        g = StructureToGraph(cutoff=1.1)(self.make_structure())
+        assert isinstance(g, GraphSample)
+        assert np.allclose(g.positions.mean(axis=0), 0.0)
+        assert g.num_edges == 8
+        assert g.targets["y"] == 2.0
+        assert g.metadata["dataset"] == "toy"
+
+    def test_structure_to_graph_knn_mode(self):
+        g = StructureToGraph(k=2)(self.make_structure())
+        assert g.num_edges == 8
+
+    def test_structure_to_point_cloud(self):
+        pc = StructureToPointCloud()(self.make_structure())
+        assert isinstance(pc, PointCloudSample)
+        assert pc.num_points == 4
+
+    def test_point_cloud_to_graph(self):
+        pc = StructureToPointCloud()(self.make_structure())
+        g = PointCloudToGraph(cutoff=1.1)(pc)
+        assert g.num_edges == 8
+
+    def test_compose_and_lambda(self):
+        pipeline = Compose(
+            [
+                StructureToPointCloud(),
+                Lambda(lambda s: s, name="identity"),
+                PointCloudToGraph(cutoff=1.1),
+            ]
+        )
+        g = pipeline(self.make_structure())
+        assert isinstance(g, GraphSample)
+        assert "identity" in repr(pipeline)
+
+
+class TestAugments:
+    def make_sample(self, rng):
+        return PointCloudSample(
+            positions=rng.normal(size=(6, 3)) + 3.0,
+            species=np.arange(1, 7),
+        )
+
+    def test_center(self, rng):
+        out = CenterPositions()(self.make_sample(rng))
+        assert np.allclose(out.positions.mean(axis=0), 0.0)
+
+    def test_random_rotation_preserves_distances(self, rng):
+        from scipy.spatial.distance import pdist
+
+        sample = self.make_sample(rng)
+        out = RandomRotation(rng)(sample)
+        assert np.allclose(pdist(sample.positions), pdist(out.positions))
+        assert not np.allclose(sample.positions, out.positions)
+
+    def test_gaussian_noise_scale(self, rng):
+        sample = self.make_sample(rng)
+        out = GaussianPositionNoise(0.01, rng)(sample)
+        assert np.abs(out.positions - sample.positions).max() < 0.1
+        same = GaussianPositionNoise(0.0, rng)(sample)
+        assert same is sample
+
+    def test_noise_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            GaussianPositionNoise(-1.0, rng)
+
+    def test_permute_preserves_graph_connectivity(self, rng):
+        pos = rng.normal(size=(5, 3))
+        g = GraphSample(
+            positions=pos,
+            species=np.arange(5),
+            edge_src=np.array([0, 1, 2]),
+            edge_dst=np.array([1, 2, 3]),
+        )
+        out = PermuteNodes(rng)(g)
+        # Each original edge (i, j) must map to an edge connecting the same
+        # two points (identified by coordinates).
+        for s, d in zip(out.edge_src, out.edge_dst):
+            p_s, p_d = out.positions[s], out.positions[d]
+            orig_pairs = [
+                (pos[i], pos[j]) for i, j in zip([0, 1, 2], [1, 2, 3])
+            ]
+            assert any(
+                np.allclose(p_s, a) and np.allclose(p_d, b) for a, b in orig_pairs
+            )
+
+
+class TestDistanceEdgeFeatures:
+    def test_rbf_shape_and_peak(self):
+        g = GraphSample(
+            positions=np.array([[0.0, 0, 0], [3.0, 0, 0]]),
+            species=np.array([1, 1]),
+            edge_src=np.array([0]),
+            edge_dst=np.array([1]),
+        )
+        out = DistanceEdgeFeatures(num_basis=7, cutoff=6.0)(g)
+        assert out.edge_attr.shape == (1, 7)
+        # Basis centred at 3.0 (index 3 of linspace(0, 6, 7)) peaks.
+        assert out.edge_attr[0].argmax() == 3
+
+    def test_empty_edges(self):
+        g = GraphSample(
+            positions=np.zeros((2, 3)),
+            species=np.ones(2),
+            edge_src=np.zeros(0, dtype=int),
+            edge_dst=np.zeros(0, dtype=int),
+        )
+        out = DistanceEdgeFeatures(num_basis=4)(g)
+        assert out.edge_attr.shape == (0, 4)
+
+
+class TestTargetNormalizer:
+    def make_samples(self, values):
+        return [
+            PointCloudSample(np.zeros((1, 3)), np.ones(1), targets={"y": np.float64(v)})
+            for v in values
+        ]
+
+    def test_fit_and_apply(self):
+        samples = self.make_samples([0.0, 2.0, 4.0])
+        norm = TargetNormalizer(["y"]).fit(samples)
+        mean, std = norm.stats["y"]
+        assert mean == pytest.approx(2.0)
+        out = norm(samples[0])
+        assert out.targets["y"] == pytest.approx((0.0 - mean) / std)
+
+    def test_denormalize_roundtrip(self):
+        samples = self.make_samples([1.0, 5.0, 9.0])
+        norm = TargetNormalizer(["y"]).fit(samples)
+        z = norm(samples[1]).targets["y"]
+        assert norm.denormalize("y", z) == pytest.approx(5.0)
+
+    def test_nan_targets_ignored_in_fit(self):
+        samples = self.make_samples([1.0, 3.0])
+        samples.append(
+            PointCloudSample(np.zeros((1, 3)), np.ones(1), targets={"y": np.float64("nan")})
+        )
+        norm = TargetNormalizer(["y"]).fit(samples)
+        assert norm.stats["y"][0] == pytest.approx(2.0)
+
+    def test_unfitted_raises(self):
+        norm = TargetNormalizer(["y"])
+        with pytest.raises(RuntimeError):
+            norm(self.make_samples([1.0])[0])
+
+    def test_missing_target_raises_on_fit(self):
+        with pytest.raises(ValueError):
+            TargetNormalizer(["z"]).fit(self.make_samples([1.0]))
+
+    def test_constant_target_gets_unit_scale(self):
+        norm = TargetNormalizer(["y"]).fit(self.make_samples([2.0, 2.0, 2.0]))
+        assert norm.scale_of("y") == 1.0

@@ -1,0 +1,245 @@
+"""Dataset generators: determinism, labels, shapes, provenance metadata."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CarolinaSurrogate,
+    LiPSSurrogate,
+    MaterialsProjectSurrogate,
+    OC20Surrogate,
+    OC22Surrogate,
+    SymmetryPointCloudDataset,
+    available_datasets,
+    build_dataset,
+)
+from repro.datasets.symmetry import merge_coincident
+from repro.geometry import POINT_GROUP_ORDERS
+
+
+class TestSymmetryDataset:
+    def test_deterministic_per_index(self):
+        ds = SymmetryPointCloudDataset(10, seed=4)
+        a, b = ds[3], ds[3]
+        assert np.allclose(a.positions, b.positions)
+        assert a.targets["point_group"] == b.targets["point_group"]
+
+    def test_different_indices_differ(self):
+        ds = SymmetryPointCloudDataset(10, seed=4)
+        assert not np.array_equal(ds[0].positions, ds[1].positions)
+
+    def test_label_matches_metadata(self):
+        ds = SymmetryPointCloudDataset(20, seed=1)
+        for i in range(20):
+            s = ds[i]
+            label = int(s.targets["point_group"])
+            assert ds.group_names[label] == s.metadata["group"]
+
+    def test_group_subset_restricts_classes(self):
+        ds = SymmetryPointCloudDataset(30, seed=2, group_names=["C1", "Oh"])
+        assert ds.num_classes == 2
+        labels = {int(ds[i].targets["point_group"]) for i in range(30)}
+        assert labels <= {0, 1}
+
+    def test_max_points_caps_seed_count(self):
+        # A single orbit cannot be truncated without destroying the symmetry,
+        # so the invariant is num_atoms <= max(max_points, group_order).
+        ds = SymmetryPointCloudDataset(20, seed=3, max_points=32)
+        for i in range(20):
+            s = ds[i]
+            order = POINT_GROUP_ORDERS[s.metadata["group"]]
+            assert s.num_atoms <= max(32, order)
+
+    def test_clouds_are_centered(self):
+        ds = SymmetryPointCloudDataset(5, seed=5, noise_sigma=0.0)
+        for i in range(5):
+            assert np.allclose(ds[i].positions.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_noiseless_cloud_is_exactly_symmetric(self):
+        ds = SymmetryPointCloudDataset(40, seed=6, noise_sigma=0.0)
+        from scipy.spatial.distance import cdist
+
+        for i in range(10):
+            s = ds[i]
+            group = [g for g in ds.groups if g.name == s.metadata["group"]][0]
+            for op in group.operations[:4]:
+                transformed = s.positions @ op.T
+                d = cdist(transformed, s.positions)
+                assert d.min(axis=1).max() < 1e-6
+
+    def test_random_orientation_option(self):
+        a = SymmetryPointCloudDataset(5, seed=7, random_orientation=False)[0]
+        b = SymmetryPointCloudDataset(5, seed=7, random_orientation=True)[0]
+        assert a.positions.shape == b.positions.shape
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_index_out_of_range(self):
+        ds = SymmetryPointCloudDataset(3)
+        with pytest.raises(IndexError):
+            ds[3]
+
+    def test_merge_coincident(self):
+        pts = np.array([[0.0, 0, 0], [0, 0, 1e-6], [1.0, 0, 0]])
+        merged = merge_coincident(pts, tol=1e-3)
+        assert len(merged) == 2
+
+
+class TestMaterialsProject:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return MaterialsProjectSurrogate(20, seed=8)
+
+    def test_deterministic(self, ds):
+        a, b = ds[7], ds[7]
+        assert np.allclose(a.positions, b.positions)
+        assert a.targets == b.targets or all(
+            np.allclose(a.targets[k], b.targets[k]) for k in a.targets
+        )
+
+    def test_has_all_four_targets(self, ds):
+        s = ds[0]
+        assert set(s.targets) == {
+            "band_gap",
+            "fermi_energy",
+            "formation_energy",
+            "is_stable",
+        }
+
+    def test_metadata(self, ds):
+        s = ds[1]
+        assert s.metadata["dataset"] == "materials_project"
+        assert s.metadata["family"] in MaterialsProjectSurrogate.FAMILY_WEIGHTS
+
+    def test_label_ranges(self, ds):
+        for i in range(20):
+            t = ds[i].targets
+            assert 0.0 <= t["band_gap"] <= 9.0
+            assert t["fermi_energy"] > 0
+            assert -5.0 < t["formation_energy"] < 30.0
+            assert t["is_stable"] in (0.0, 1.0)
+
+    def test_atoms_not_overlapping(self, ds):
+        from repro.geometry import minimum_image_distances
+
+        for i in range(5):
+            s = ds[i]
+            frac = s.positions @ np.linalg.inv(s.lattice.matrix)
+            d = minimum_image_distances(s.lattice, frac)
+            np.fill_diagonal(d, np.inf)
+            assert d.min() > 0.5
+
+    def test_composition_size_bounds(self, ds):
+        for i in range(20):
+            s = ds[i]
+            assert 2 <= s.num_atoms <= 10
+            assert 1 <= len(np.unique(s.species)) <= 4
+
+
+class TestCarolina:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return CarolinaSurrogate(20, seed=9)
+
+    def test_cubic_only(self, ds):
+        for i in range(10):
+            s = ds[i]
+            assert np.allclose(s.lattice.angles, 90.0)
+            assert np.allclose(s.lattice.lengths, s.lattice.lengths[0])
+
+    def test_single_target(self, ds):
+        assert set(ds[0].targets) == {"formation_energy"}
+
+    def test_narrower_than_materials_project(self):
+        mp = MaterialsProjectSurrogate(40, seed=10)
+        cmd = CarolinaSurrogate(40, seed=10)
+        mp_e = np.array([float(mp[i].targets["formation_energy"]) for i in range(40)])
+        cmd_e = np.array([float(cmd[i].targets["formation_energy"]) for i in range(40)])
+        assert cmd_e.std() < 0.6 * mp_e.std()
+
+    def test_ternary_or_quaternary(self, ds):
+        for i in range(10):
+            assert len(np.unique(ds[i].species)) in (3, 4)
+
+
+class TestOCP:
+    def test_oc20_composite_structure(self):
+        ds = OC20Surrogate(5, seed=11)
+        s = ds[0]
+        n_slab = s.metadata["num_slab_atoms"]
+        assert s.num_atoms > n_slab  # adsorbate present
+        assert s.metadata["dataset"] == "oc20"
+        assert s.metadata["adsorbate"] in ("H", "O", "CO", "OH", "H2O", "N")
+
+    def test_oc20_slab_single_metal(self):
+        ds = OC20Surrogate(5, seed=12)
+        s = ds[0]
+        slab_species = s.species[: s.metadata["num_slab_atoms"]]
+        assert len(np.unique(slab_species)) == 1
+
+    def test_oc22_slab_contains_oxygen(self):
+        ds = OC22Surrogate(5, seed=13)
+        s = ds[0]
+        slab_species = s.species[: s.metadata["num_slab_atoms"]]
+        assert 8 in slab_species
+
+    def test_energy_and_force_targets(self):
+        s = OC20Surrogate(3, seed=14)[1]
+        assert "energy" in s.targets and "adsorption_energy" in s.targets
+        assert s.targets["forces"].shape == (s.num_atoms, 3)
+
+    def test_deterministic(self):
+        a = OC22Surrogate(4, seed=15)[2]
+        b = OC22Surrogate(4, seed=15)[2]
+        assert np.allclose(a.positions, b.positions)
+
+
+class TestLiPS:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return LiPSSurrogate(8, seed=16)
+
+    def test_fixed_composition_across_frames(self, ds):
+        species = ds[0].species
+        for i in range(len(ds)):
+            assert np.array_equal(ds[i].species, species)
+        uniq = set(np.unique(species).tolist())
+        assert uniq == {3, 15, 16}  # Li, P, S
+
+    def test_frames_evolve(self, ds):
+        assert not np.allclose(ds[0].positions, ds[7].positions)
+
+    def test_energy_and_forces_present(self, ds):
+        s = ds[3]
+        assert np.isfinite(s.targets["energy"])
+        assert s.targets["forces"].shape == (s.num_atoms, 3)
+
+    def test_positions_stay_in_box(self, ds):
+        a = ds.cell[0, 0]
+        for i in range(len(ds)):
+            assert np.all(ds[i].positions >= 0.0)
+            assert np.all(ds[i].positions <= a)
+
+    def test_trajectory_thermally_bounded(self, ds):
+        """Frames are perturbations of one structure, not a melt."""
+        drift = np.linalg.norm(ds[0].positions - ds[len(ds) - 1].positions, axis=1)
+        assert np.median(drift) < 3.0
+
+
+class TestRegistry:
+    def test_lists_all_six(self):
+        assert set(available_datasets()) == {
+            "symmetry",
+            "materials_project",
+            "carolina",
+            "oc20",
+            "oc22",
+            "lips",
+        }
+
+    def test_build_by_name(self):
+        ds = build_dataset("symmetry", num_samples=3, seed=1)
+        assert len(ds) == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_dataset("imaginary")

@@ -1,0 +1,119 @@
+"""Symmetry operations: orthogonality, determinants, composition (property-based)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    canonical_key,
+    identity,
+    improper_rotation,
+    inversion,
+    is_orthogonal,
+    random_rotation,
+    reflection_matrix,
+    rotation_matrix,
+)
+
+unit_angle = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi)
+axis_component = st.floats(min_value=-1.0, max_value=1.0)
+axes = st.tuples(axis_component, axis_component, axis_component).filter(
+    lambda a: sum(x * x for x in a) > 1e-4
+)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert np.allclose(identity(), np.eye(3))
+
+    def test_inversion_squares_to_identity(self):
+        assert np.allclose(inversion() @ inversion(), np.eye(3))
+
+    def test_rotation_determinant_plus_one(self):
+        r = rotation_matrix([0, 0, 1], 0.7)
+        assert np.isclose(np.linalg.det(r), 1.0)
+
+    def test_reflection_determinant_minus_one(self):
+        m = reflection_matrix([1, 1, 0])
+        assert np.isclose(np.linalg.det(m), -1.0)
+
+    def test_reflection_is_involution(self):
+        m = reflection_matrix([0.3, -0.2, 0.9])
+        assert np.allclose(m @ m, np.eye(3))
+
+    def test_improper_rotation_det(self):
+        s = improper_rotation([0, 0, 1], math.pi / 2)
+        assert np.isclose(np.linalg.det(s), -1.0)
+
+    def test_s2_is_inversion(self):
+        # S2 (180-degree rotoreflection) equals the inversion.
+        s2 = improper_rotation([0, 0, 1], math.pi)
+        assert np.allclose(s2, inversion())
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix([0, 0, 0], 1.0)
+        with pytest.raises(ValueError):
+            reflection_matrix([0, 0, 0])
+
+    def test_rotation_fixes_axis(self):
+        axis = np.array([1.0, 2.0, 3.0])
+        r = rotation_matrix(axis, 1.234)
+        assert np.allclose(r @ axis, axis)
+
+    def test_known_z_rotation(self):
+        r = rotation_matrix([0, 0, 1], math.pi / 2)
+        assert np.allclose(r @ np.array([1.0, 0, 0]), [0, 1, 0], atol=1e-12)
+
+
+class TestPropertyBased:
+    @given(axis=axes, angle=unit_angle)
+    @settings(max_examples=40, deadline=None)
+    def test_rotations_are_orthogonal(self, axis, angle):
+        assert is_orthogonal(rotation_matrix(axis, angle))
+
+    @given(axis=axes, angle=unit_angle)
+    @settings(max_examples=40, deadline=None)
+    def test_rotation_preserves_lengths(self, axis, angle):
+        r = rotation_matrix(axis, angle)
+        v = np.array([0.3, -1.2, 0.7])
+        assert np.isclose(np.linalg.norm(r @ v), np.linalg.norm(v))
+
+    @given(axis=axes, a=unit_angle, b=unit_angle)
+    @settings(max_examples=40, deadline=None)
+    def test_same_axis_rotations_compose_additively(self, axis, a, b):
+        lhs = rotation_matrix(axis, a) @ rotation_matrix(axis, b)
+        rhs = rotation_matrix(axis, a + b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @given(axis=axes)
+    @settings(max_examples=20, deadline=None)
+    def test_full_turn_is_identity(self, axis):
+        assert np.allclose(rotation_matrix(axis, 2 * math.pi), np.eye(3), atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_rotation_in_so3(self, seed):
+        q = random_rotation(np.random.default_rng(seed))
+        assert is_orthogonal(q)
+        assert np.isclose(np.linalg.det(q), 1.0)
+
+
+class TestCanonicalKey:
+    def test_equal_for_identical_ops(self):
+        a = rotation_matrix([0, 0, 1], math.pi / 3)
+        b = rotation_matrix([0, 0, 1], math.pi / 3 + 2 * math.pi)
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_differs_for_distinct_ops(self):
+        a = rotation_matrix([0, 0, 1], math.pi / 3)
+        b = rotation_matrix([0, 0, 1], math.pi / 2)
+        assert canonical_key(a) != canonical_key(b)
+
+    def test_normalizes_negative_zero(self):
+        m = np.eye(3).copy()
+        m[0, 1] = -0.0
+        assert canonical_key(m) == canonical_key(np.eye(3))

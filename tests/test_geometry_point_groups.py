@@ -1,0 +1,171 @@
+"""Point groups: orders, group axioms, subgroup structure, orbits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CRYSTAL_POINT_GROUP_NAMES,
+    POINT_GROUP_ORDERS,
+    build_point_group,
+    crystallographic_point_groups,
+    rotation_matrix,
+)
+from repro.geometry.operations import canonical_key
+
+ALL_GROUPS = {g.name: g for g in crystallographic_point_groups()}
+
+
+class TestInventory:
+    def test_thirty_two_groups(self):
+        assert len(CRYSTAL_POINT_GROUP_NAMES) == 32
+        assert len(ALL_GROUPS) == 32
+
+    @pytest.mark.parametrize("name", CRYSTAL_POINT_GROUP_NAMES)
+    def test_order_matches_literature(self, name):
+        assert ALL_GROUPS[name].order == POINT_GROUP_ORDERS[name]
+
+    def test_largest_group_is_oh(self):
+        assert max(ALL_GROUPS.values(), key=lambda g: g.order).name == "Oh"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            crystallographic_point_groups(["Q7"])
+
+    def test_cache_returns_same_object(self):
+        a = crystallographic_point_groups(["C4"])[0]
+        b = crystallographic_point_groups(["C4"])[0]
+        assert a is b
+
+
+group_names = st.sampled_from(list(CRYSTAL_POINT_GROUP_NAMES))
+
+
+class TestGroupAxioms:
+    @given(name=group_names)
+    @settings(max_examples=32, deadline=None)
+    def test_identity_first(self, name):
+        g = ALL_GROUPS[name]
+        assert np.allclose(g.operations[0], np.eye(3))
+
+    @given(name=group_names)
+    @settings(max_examples=32, deadline=None)
+    def test_closure(self, name):
+        g = ALL_GROUPS[name]
+        keys = {canonical_key(op) for op in g.operations}
+        for a in g.operations:
+            for b in g.operations:
+                assert canonical_key(a @ b) in keys
+
+    @given(name=group_names)
+    @settings(max_examples=32, deadline=None)
+    def test_inverses_present(self, name):
+        g = ALL_GROUPS[name]
+        keys = {canonical_key(op) for op in g.operations}
+        for op in g.operations:
+            assert canonical_key(op.T) in keys  # orthogonal: inverse = transpose
+
+    @given(name=group_names)
+    @settings(max_examples=32, deadline=None)
+    def test_all_elements_distinct(self, name):
+        g = ALL_GROUPS[name]
+        keys = {canonical_key(op) for op in g.operations}
+        assert len(keys) == g.order
+
+    @given(name=group_names)
+    @settings(max_examples=16, deadline=None)
+    def test_multiplication_table_is_latin_square(self, name):
+        g = ALL_GROUPS[name]
+        if g.order > 16:
+            return  # keep runtime bounded; large groups covered by closure test
+        table = g.multiplication_table()
+        for i in range(g.order):
+            assert sorted(table[i]) == list(range(g.order))
+            assert sorted(table[:, i]) == list(range(g.order))
+
+
+class TestStructure:
+    def test_subgroup_chains(self):
+        assert ALL_GROUPS["C2"].is_subgroup_of(ALL_GROUPS["C4"])
+        assert ALL_GROUPS["C4"].is_subgroup_of(ALL_GROUPS["C4v"])
+        assert ALL_GROUPS["T"].is_subgroup_of(ALL_GROUPS["O"])
+        assert ALL_GROUPS["O"].is_subgroup_of(ALL_GROUPS["Oh"])
+        assert ALL_GROUPS["D2"].is_subgroup_of(ALL_GROUPS["D4"])
+
+    def test_non_subgroup(self):
+        assert not ALL_GROUPS["C3"].is_subgroup_of(ALL_GROUPS["C4"])
+
+    def test_inversion_membership(self):
+        for name in ("Ci", "C2h", "D2h", "S6", "Th", "Oh", "D3d"):
+            assert ALL_GROUPS[name].has_inversion(), name
+        for name in ("C1", "C2", "C4v", "D3", "T", "Td"):
+            assert not ALL_GROUPS[name].has_inversion(), name
+
+    def test_chirality(self):
+        # Pure-rotation groups are chiral; anything with a mirror/inversion is not.
+        for name in ("C1", "C2", "C3", "D2", "D4", "T", "O"):
+            assert ALL_GROUPS[name].is_chiral(), name
+        for name in ("Cs", "Ci", "C2v", "Td", "Oh"):
+            assert not ALL_GROUPS[name].is_chiral(), name
+
+    def test_contains(self):
+        import math
+
+        c4 = ALL_GROUPS["C4"]
+        assert c4.contains(rotation_matrix([0, 0, 1], math.pi / 2))
+        assert not c4.contains(rotation_matrix([0, 0, 1], math.pi / 3))
+
+
+class TestOrbits:
+    def test_orbit_shape(self, rng):
+        g = ALL_GROUPS["D4"]
+        pts = rng.normal(size=(3, 3))
+        assert g.orbit(pts).shape == (8 * 3, 3)
+
+    def test_orbit_is_group_invariant(self, rng):
+        """Applying any group element permutes the orbit set."""
+        g = ALL_GROUPS["C4v"]
+        pts = rng.normal(size=(1, 3))
+        orbit = g.orbit(pts)
+        transformed = orbit @ g.operations[3].T
+        # Every transformed point must coincide with some orbit point.
+        from scipy.spatial.distance import cdist
+
+        d = cdist(transformed, orbit)
+        assert np.all(d.min(axis=1) < 1e-9)
+
+    def test_generic_point_orbit_has_group_order(self, rng):
+        from repro.datasets.symmetry import merge_coincident
+
+        g = ALL_GROUPS["D3h"]
+        pts = rng.normal(size=(1, 3)) + np.array([[0.3, 0.7, 1.1]])
+        merged = merge_coincident(g.orbit(pts))
+        assert len(merged) == g.order
+
+    def test_point_on_axis_has_smaller_orbit(self):
+        from repro.datasets.symmetry import merge_coincident
+
+        g = ALL_GROUPS["C4"]
+        on_axis = np.array([[0.0, 0.0, 1.5]])
+        merged = merge_coincident(g.orbit(on_axis))
+        assert len(merged) == 1
+
+
+class TestBuildPointGroup:
+    def test_custom_c5_builds(self):
+        import math
+
+        g = build_point_group("C5", [rotation_matrix([0, 0, 1], 2 * math.pi / 5)])
+        assert g.order == 5
+
+    def test_rejects_non_orthogonal_generator(self):
+        with pytest.raises(ValueError):
+            build_point_group("bad", [np.diag([2.0, 1.0, 1.0])])
+
+    def test_runaway_generator_rejected(self):
+        import math
+
+        # An irrational rotation never closes; the order guard must trip.
+        with pytest.raises(RuntimeError):
+            build_point_group("irr", [rotation_matrix([0, 0, 1], 1.0)])

@@ -1,0 +1,172 @@
+"""Optimizers: step math against hand-computed references, state, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, clip_grad_norm
+
+
+def make_param(values):
+    p = Parameter(np.asarray(values, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # buf = 1, p = -1
+        p.grad = np.array([1.0])
+        opt.step()  # buf = 1.9, p = -2.9
+        assert np.allclose(p.data, [-2.9])
+
+    def test_weight_decay_is_l2(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert np.allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_none_grad_skipped(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first Adam update is exactly lr * sign(g).
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([3.0])
+        opt.step()
+        assert np.allclose(p.data, [-0.01], atol=1e-8)
+
+    def test_matches_reference_implementation(self, rng):
+        p = make_param(rng.normal(size=(4,)))
+        ref = p.data.copy()
+        lr, b1, b2, eps = 1e-3, 0.9, 0.999, 1e-8
+        opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+        m = np.zeros(4)
+        v = np.zeros(4)
+        for t in range(1, 6):
+            g = rng.normal(size=(4,))
+            p.grad = g.copy()
+            opt.step()
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            mhat = m / (1 - b1**t)
+            vhat = v / (1 - b2**t)
+            ref -= lr * mhat / (np.sqrt(vhat) + eps)
+        assert np.allclose(p.data, ref, atol=1e-12)
+
+    def test_coupled_weight_decay_folds_into_gradient(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        # g_eff = 1.0 -> first step is -lr * sign = -0.1
+        assert np.allclose(p.data, [0.9], atol=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([1.0])], betas=(1.0, 0.999))
+
+    def test_update_statistics_keys(self, rng):
+        p = make_param(rng.normal(size=(4,)))
+        opt = Adam([p], lr=1e-3)
+        p.grad = rng.normal(size=(4,))
+        opt.step()
+        stats = opt.update_statistics()
+        assert set(stats) == {"grad_norm", "mean_abs_m", "mean_v", "eps_floor_fraction"}
+        assert stats["grad_norm"] > 0
+
+    def test_eps_floor_fraction_detects_dead_moments(self):
+        p = make_param(np.zeros(10))
+        opt = Adam([p], lr=1e-3)
+        p.grad = np.zeros(10)
+        opt.step()
+        assert opt.update_statistics()["eps_floor_fraction"] == 1.0
+
+
+class TestAdamW:
+    def test_decay_is_decoupled(self):
+        # With zero gradient, AdamW still decays parameters multiplicatively,
+        # and (unlike Adam's coupled decay) takes no moment-driven step.
+        p = make_param([1.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert np.allclose(p.data, [1.0 - 0.1 * 0.5 * 1.0], atol=1e-9)
+
+    def test_default_momenta_match_paper(self):
+        opt = AdamW([make_param([1.0])])
+        assert opt.beta1 == 0.9
+        assert opt.beta2 == 0.999
+
+    def test_state_dict_roundtrip(self, rng):
+        p = make_param(rng.normal(size=(3,)))
+        opt = AdamW([p], lr=1e-3)
+        for _ in range(3):
+            p.grad = rng.normal(size=(3,))
+            opt.step()
+        saved = opt.state_dict()
+
+        p2 = make_param(p.data.copy())
+        opt2 = AdamW([p2], lr=1e-3)
+        opt2.load_state_dict(saved)
+        g = rng.normal(size=(3,))
+        p.grad = g.copy()
+        p2.grad = g.copy()
+        opt.step()
+        opt2.step()
+        assert np.allclose(p.data, p2.data, atol=1e-15)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            AdamW([], lr=1e-3)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            AdamW([make_param([1.0])], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_noop_below_threshold(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.5])
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert np.isclose(norm, 0.5)
+        assert np.allclose(p.grad, [0.5])
+
+    def test_scales_above_threshold(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert np.isclose(total, 1.0)
+
+    def test_ignores_none_grads(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        p1.grad = np.array([2.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert np.isclose(norm, 2.0)
+
+
+class TestGradGlobalNorm:
+    def test_value(self):
+        p1, p2 = make_param([0.0]), make_param([0.0, 0.0])
+        opt = SGD([p1, p2], lr=0.1)
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([0.0, 4.0])
+        assert np.isclose(opt.grad_global_norm(), 5.0)

@@ -1,0 +1,154 @@
+"""Learning-rate schedules: exact values of the paper's warmup + decay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    AdamW,
+    ConstantLR,
+    CosineAnnealing,
+    ExponentialDecay,
+    LinearWarmup,
+    SequentialLR,
+    WarmupExponential,
+    scale_lr_for_ddp,
+)
+
+
+def make_opt(lr=1e-3):
+    return AdamW([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestScaleRule:
+    def test_linear_scaling(self):
+        assert scale_lr_for_ddp(1e-3, 512) == pytest.approx(0.512)
+
+    def test_identity_for_one_worker(self):
+        assert scale_lr_for_ddp(1e-3, 1) == pytest.approx(1e-3)
+
+    def test_rejects_zero_world(self):
+        with pytest.raises(ValueError):
+            scale_lr_for_ddp(1e-3, 0)
+
+
+class TestConstant:
+    def test_never_changes(self):
+        opt = make_opt()
+        sched = ConstantLR(opt, target_lr=5e-4)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(5e-4)
+
+
+class TestLinearWarmup:
+    def test_ramp_values(self):
+        opt = make_opt()
+        sched = LinearWarmup(opt, warmup_epochs=4, target_lr=1.0)
+        values = [sched.current_lr]
+        for _ in range(5):
+            sched.step()
+            values.append(sched.current_lr)
+        assert values[:4] == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert values[4] == pytest.approx(1.0)  # clamps after warmup
+
+    def test_rejects_zero_warmup(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(make_opt(), warmup_epochs=0)
+
+
+class TestExponentialDecay:
+    def test_gamma_powers(self):
+        opt = make_opt()
+        sched = ExponentialDecay(opt, gamma=0.8, target_lr=1.0)
+        assert sched.current_lr == pytest.approx(1.0)
+        sched.step()
+        assert sched.current_lr == pytest.approx(0.8)
+        sched.step()
+        assert sched.current_lr == pytest.approx(0.64)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(make_opt(), gamma=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(make_opt(), gamma=1.5)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt()
+        sched = CosineAnnealing(opt, total_epochs=10, min_lr=0.1, target_lr=1.0)
+        assert sched.current_lr == pytest.approx(1.0)
+        for _ in range(10):
+            sched.step()
+        assert sched.current_lr == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        opt = make_opt()
+        sched = CosineAnnealing(opt, total_epochs=10, min_lr=0.0, target_lr=1.0)
+        for _ in range(5):
+            sched.step()
+        assert sched.current_lr == pytest.approx(0.5, abs=1e-9)
+
+
+class TestWarmupExponential:
+    def test_paper_shape(self):
+        """Linear ramp over 8 epochs to the target, then gamma = 0.8 decay."""
+        opt = make_opt()
+        sched = WarmupExponential(opt, warmup_epochs=8, gamma=0.8, target_lr=1.0)
+        lrs = [sched.current_lr]
+        for _ in range(12):
+            sched.step()
+            lrs.append(sched.current_lr)
+        # Warmup: 1/8, 2/8, ..., 8/8
+        assert lrs[:8] == pytest.approx([i / 8 for i in range(1, 9)])
+        # Peak then decay by 0.8 each epoch
+        assert lrs[8] == pytest.approx(0.8)
+        assert lrs[9] == pytest.approx(0.64)
+
+    def test_peak_is_target(self):
+        opt = make_opt()
+        sched = WarmupExponential(opt, warmup_epochs=5, gamma=0.8, target_lr=0.512)
+        lrs = [sched.lr_at(e) for e in range(20)]
+        assert max(lrs) == pytest.approx(0.512)
+
+    def test_monotone_rise_then_fall(self):
+        sched = WarmupExponential(make_opt(), warmup_epochs=6, gamma=0.9, target_lr=1.0)
+        lrs = [sched.lr_at(e) for e in range(20)]
+        peak = int(np.argmax(lrs))
+        assert all(lrs[i] < lrs[i + 1] for i in range(peak))
+        assert all(lrs[i] > lrs[i + 1] for i in range(peak, 19))
+
+
+class TestSequential:
+    def test_switches_at_milestone(self):
+        opt = make_opt()
+        warm = LinearWarmup(opt, warmup_epochs=3, target_lr=1.0)
+        decay = ExponentialDecay(opt, gamma=0.5, target_lr=1.0)
+        sched = SequentialLR(opt, [warm, decay], milestones=[3])
+        values = [sched.current_lr]
+        for _ in range(5):
+            sched.step()
+            values.append(sched.current_lr)
+        assert values[0] == pytest.approx(1.0 / 3)
+        assert values[3] == pytest.approx(1.0)  # decay epoch 0
+        assert values[4] == pytest.approx(0.5)
+
+    def test_validates_milestones(self):
+        opt = make_opt()
+        a = ConstantLR(opt, 1.0)
+        b = ConstantLR(opt, 0.5)
+        with pytest.raises(ValueError):
+            SequentialLR(opt, [a, b], milestones=[])
+        with pytest.raises(ValueError):
+            SequentialLR(opt, [a, b, a], milestones=[5, 2])
+
+
+class TestSchedulerOptimizerBinding:
+    def test_scheduler_writes_into_optimizer(self):
+        opt = make_opt(lr=123.0)
+        WarmupExponential(opt, warmup_epochs=4, gamma=0.8, target_lr=1.0)
+        # Construction applies epoch-0 lr immediately.
+        assert opt.lr == pytest.approx(0.25)
