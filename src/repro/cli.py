@@ -67,11 +67,17 @@ def cmd_pretrain(args) -> int:
         head_hidden_dim=args.hidden_dim,
         head_blocks=2,
         seed=args.seed,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        on_fault=args.on_fault,
     )
     print(
         f"pretraining: N={cfg.world_size}, B_eff={cfg.effective_batch}, "
         f"lr={cfg.optimizer.base_lr * cfg.world_size:g}"
     )
+    if cfg.fault_profile:
+        print(f"fault profile: {cfg.fault_profile} (on_fault={cfg.on_fault}, "
+              f"seed={cfg.fault_seed})")
     result = pretrain_symmetry(cfg)
     _, ce = result.history.series("val", "ce")
     _, acc = result.history.series("val", "acc")
@@ -79,6 +85,10 @@ def cmd_pretrain(args) -> int:
     print(f"val acc {acc[0]:.3f} -> {acc[-1]:.3f}")
     print(f"throughput {result.throughput.samples_per_second:.0f} samples/s, "
           f"spikes {result.spikes.spike_count}")
+    if result.events is not None:
+        counts = result.events.summary()
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"fault events: {summary if summary else 'none'}")
     return 0
 
 
@@ -199,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--world-size", type=int, default=8)
     p.add_argument("--batch-per-worker", type=int, default=2)
     p.add_argument("--warmup", type=int, default=8)
+    p.add_argument("--fault-profile", default=None,
+                   help="inject faults, e.g. 'crash:1' or 'timeout:2,corrupt:1'")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--on-fault", default="recover", choices=["recover", "elastic"],
+                   help="crash handling: checkpoint recovery (exact) or "
+                        "elastic rank drop (re-shard + Goyal LR re-scale)")
     p.set_defaults(fn=cmd_pretrain)
 
     p = sub.add_parser("finetune", help="single-task fine-tuning (Fig. 5)")

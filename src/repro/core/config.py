@@ -72,6 +72,18 @@ class PretrainConfig:
     head_hidden_dim: int = 48
     head_blocks: int = 3
     seed: int = 7
+    #: Fault-injection spec, e.g. ``"crash:1"`` or ``"timeout:2,corrupt:1"``
+    #: (None = healthy run).  See repro.distributed.faults.FaultProfile.
+    fault_profile: Optional[str] = None
+    fault_seed: int = 0
+    #: Faults land on seeded allreduce-call indices within this horizon.
+    fault_horizon: int = 12
+    #: "recover": crashes escalate to checkpoint restore-and-retry (exact);
+    #: "elastic": the dead rank is dropped, the batch re-shards over the
+    #: survivors and the LR re-scales by the Goyal rule.
+    on_fault: str = "recover"
+    #: Recovery-point directory; a temporary directory when None.
+    checkpoint_dir: Optional[str] = None
 
     @property
     def effective_batch(self) -> int:

@@ -40,7 +40,15 @@ from repro.datasets import (
     OC22Surrogate,
     SymmetryPointCloudDataset,
 )
-from repro.distributed import DDPStrategy, SingleProcessStrategy
+from repro.distributed import (
+    DDPStrategy,
+    EventLog,
+    FaultInjector,
+    FaultProfile,
+    SimClock,
+    SimComm,
+    SingleProcessStrategy,
+)
 from repro.analysis import (
     UMAPLite,
     cluster_spread,
@@ -56,8 +64,10 @@ from repro.tasks import (
     TaskSpec,
 )
 from repro.training import (
+    FaultEventMonitor,
     History,
     LRMonitor,
+    RecoveryConfig,
     SpikeDetector,
     ThroughputMeter,
     Trainer,
@@ -106,6 +116,8 @@ class PretrainResult:
     throughput: ThroughputMeter
     lr_trace: List[tuple]
     config: PretrainConfig
+    #: Fault/recovery event log; None for healthy runs.
+    events: Optional[EventLog] = None
 
     @property
     def final_val_ce(self) -> Optional[float]:
@@ -172,14 +184,52 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         target_lr=target_lr,
     )
 
-    strategy = (
-        DDPStrategy(config.world_size)
-        if config.world_size > 1
-        else SingleProcessStrategy()
-    )
+    events: Optional[EventLog] = None
+    recovery: Optional[RecoveryConfig] = None
+    profile = FaultProfile.parse(config.fault_profile)
+    # Any non-None profile — even an empty one ("") — routes gradients
+    # through the instrumented explicit-allreduce path, so a healthy
+    # baseline can be made bit-comparable to a fault-injected run.
+    if config.fault_profile is not None:
+        if config.on_fault not in ("recover", "elastic"):
+            raise ValueError(
+                f"on_fault must be 'recover' or 'elastic', got {config.on_fault!r}"
+            )
+        clock = SimClock()
+        events = EventLog(clock)
+        injector = FaultInjector(
+            profile,
+            config.world_size,
+            seed=config.fault_seed,
+            horizon=config.fault_horizon,
+            events=events,
+            clock=clock,
+        )
+        comm = SimComm(config.world_size, injector=injector)
+        strategy = DDPStrategy(
+            config.world_size, comm=comm, elastic=(config.on_fault == "elastic")
+        )
+        if config.on_fault == "recover":
+            ckpt_dir = config.checkpoint_dir
+            if ckpt_dir is None:
+                import tempfile
+
+                ckpt_dir = tempfile.mkdtemp(prefix="repro-recovery-")
+            recovery = RecoveryConfig(
+                checkpoint_dir=ckpt_dir, checkpoint_every_n_steps=1, events=events
+            )
+    else:
+        strategy = (
+            DDPStrategy(config.world_size)
+            if config.world_size > 1
+            else SingleProcessStrategy()
+        )
     spikes = SpikeDetector(monitor="ce")
     throughput = ThroughputMeter()
     lr_monitor = LRMonitor()
+    callbacks = [spikes, throughput, lr_monitor]
+    if events is not None:
+        callbacks.append(FaultEventMonitor(events))
     trainer = Trainer(
         TrainerConfig(
             max_epochs=config.max_epochs,
@@ -189,7 +239,8 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
             log_every_n_steps=5,
         ),
         strategy=strategy,
-        callbacks=[spikes, throughput, lr_monitor],
+        callbacks=callbacks,
+        recovery=recovery,
     )
     history = trainer.fit(task, train_loader, val_loader, optimizer, scheduler)
     return PretrainResult(
@@ -199,6 +250,7 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         throughput=throughput,
         lr_trace=lr_monitor.trace,
         config=config,
+        events=events,
     )
 
 

@@ -6,38 +6,73 @@ process:
 
 * :mod:`repro.distributed.comm` — ``SimComm``, an in-process MPI-style
   communicator whose collectives operate across simulated ranks and meter
-  the bytes they move.
+  the bytes they move.  With a fault injector attached, its allreduce runs
+  under retry-with-exponential-backoff semantics on a simulated clock.
 * :mod:`repro.distributed.ddp` — gradient-averaging data parallelism over
   rank shards; mathematically identical to N-rank DDP (same effective
   batch, same averaged gradient), which is what makes the training-dynamics
-  experiments exact rather than approximate.
+  experiments exact rather than approximate.  Handles rank crashes either
+  elastically (drop the rank, re-shard, re-scale the LR) or by escalating
+  to the trainer's checkpoint recovery.
+* :mod:`repro.distributed.faults` — deterministic, seeded fault injection
+  (crashes, timeouts, corrupted gradients) plus the retry policy.
+* :mod:`repro.distributed.events` — the structured fault/recovery event
+  log and the simulated clock every backoff waits on.
 * :mod:`repro.distributed.perf_model` — an analytic cluster model (node
   FLOP/s, HDR200-class interconnect, ring allreduce) that converts measured
-  single-worker throughput into scale-out throughput for Fig. 2.
+  single-worker throughput into scale-out throughput for Fig. 2, plus a
+  failure-aware variant with Young/Daly checkpoint-cadence accounting.
 * :mod:`repro.distributed.affinity` — the NUMA-domain worker-placement
   policy from Sec. 4.1 (map-by-NUMA, pin-to-core, 16 workers/node).
 """
 
-from repro.distributed.comm import SimComm
+from repro.distributed.comm import SimComm, TrafficLog
 from repro.distributed.ddp import DDPStrategy, SingleProcessStrategy, Strategy
+from repro.distributed.events import EventLog, FaultEvent, SimClock
+from repro.distributed.faults import (
+    AllreduceTimeout,
+    CommFault,
+    FaultInjector,
+    FaultProfile,
+    GradientCorruption,
+    RankCrash,
+    RetryPolicy,
+    StepFailure,
+)
 from repro.distributed.perf_model import (
     NodeSpec,
     InterconnectSpec,
     ClusterSpec,
     ENDEAVOUR,
+    FailureAwareThroughputModel,
+    FailureSpec,
     ThroughputModel,
 )
 from repro.distributed.affinity import AffinityPlanner, WorkerPlacement
 
 __all__ = [
     "SimComm",
+    "TrafficLog",
     "Strategy",
     "DDPStrategy",
     "SingleProcessStrategy",
+    "EventLog",
+    "FaultEvent",
+    "SimClock",
+    "AllreduceTimeout",
+    "CommFault",
+    "FaultInjector",
+    "FaultProfile",
+    "GradientCorruption",
+    "RankCrash",
+    "RetryPolicy",
+    "StepFailure",
     "NodeSpec",
     "InterconnectSpec",
     "ClusterSpec",
     "ENDEAVOUR",
+    "FailureAwareThroughputModel",
+    "FailureSpec",
     "ThroughputModel",
     "AffinityPlanner",
     "WorkerPlacement",

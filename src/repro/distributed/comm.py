@@ -5,14 +5,41 @@ compute exactly what their MPI counterparts would and additionally meter
 traffic (message counts and bytes, ring-allreduce accounting), which the
 performance model consumes.  The interface intentionally shadows mpi4py's
 lower-case object API (``allreduce``, ``bcast``, ``gather``, ...).
+
+Fault tolerance: when a :class:`~repro.distributed.faults.FaultInjector`
+is attached, ``allreduce`` runs under retry-with-exponential-backoff
+semantics.  Injected timeouts and corrupted contributions are detected,
+logged to the shared event log, waited out on the *simulated* clock (no
+real sleeps), and retried; rank crashes raise :class:`RankCrash` so the
+strategy layer can either drop the rank elastically (``shrink``) or
+escalate to checkpoint recovery.  Without an injector the healthy fast
+path is byte-for-byte the original behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+from repro.distributed.events import (
+    BACKOFF,
+    CORRUPT,
+    CRASH,
+    GIVE_UP,
+    RANK_DROP,
+    RETRY,
+    TIMEOUT,
+    EventLog,
+    SimClock,
+)
+from repro.distributed.faults import (
+    AllreduceTimeout,
+    FaultInjector,
+    RankCrash,
+    RetryPolicy,
+)
 
 
 @dataclass
@@ -25,6 +52,8 @@ class TrafficLog:
     bcast_bytes: int = 0
     p2p_messages: int = 0
     p2p_bytes: int = 0
+    retry_calls: int = 0
+    retry_bytes: int = 0
 
     def reset(self) -> None:
         self.allreduce_calls = 0
@@ -33,6 +62,8 @@ class TrafficLog:
         self.bcast_bytes = 0
         self.p2p_messages = 0
         self.p2p_bytes = 0
+        self.retry_calls = 0
+        self.retry_bytes = 0
 
 
 class SimComm:
@@ -42,13 +73,42 @@ class SimComm:
     results, mirroring SPMD semantics without processes.  All byte counts
     use the ring-allreduce volume 2 * (N-1)/N * payload per rank, the
     algorithm oneCCL/NCCL use for large tensors.
+
+    Parameters
+    ----------
+    world_size:
+        Rank count.  Mutable through :meth:`shrink`/:meth:`restore_world`
+        (elastic fault handling); ``initial_world_size`` keeps the original.
+    injector:
+        Optional fault injector; its event log and simulated clock become
+        this communicator's ``events``/``clock``.
+    retry:
+        Retry/backoff semantics for fault-aware allreduce.
     """
 
-    def __init__(self, world_size: int):
+    def __init__(
+        self,
+        world_size: int,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
+        self.initial_world_size = world_size
         self.traffic = TrafficLog()
+        self.injector = injector
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._allreduce_index = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self) -> Optional[EventLog]:
+        return self.injector.events if self.injector is not None else None
+
+    @property
+    def clock(self) -> Optional[SimClock]:
+        return self.injector.clock if self.injector is not None else None
 
     # ------------------------------------------------------------------ #
     def _check(self, values: Sequence) -> None:
@@ -63,29 +123,112 @@ class SimComm:
         return int(arr.nbytes)
 
     # ------------------------------------------------------------------ #
+    # Elastic world management
+    # ------------------------------------------------------------------ #
+    def shrink(self, dead_rank: int) -> int:
+        """Drop one rank from the world (elastic degradation); returns the new size."""
+        if self.world_size <= 1:
+            raise ValueError("cannot shrink a single-rank world")
+        self.world_size -= 1
+        if self.events is not None:
+            self.events.record(RANK_DROP, rank=dead_rank, world_size=self.world_size)
+        return self.world_size
+
+    def restore_world(self) -> int:
+        """Bring the world back to full strength (checkpoint recovery restarts ranks)."""
+        self.world_size = self.initial_world_size
+        if self.injector is not None:
+            self.injector.revive_all()
+        return self.world_size
+
+    # ------------------------------------------------------------------ #
     # Collectives
     # ------------------------------------------------------------------ #
-    def allreduce(self, values: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
-        """Reduce across ranks; every rank receives the result."""
-        self._check(values)
-        arrays = [np.asarray(v, dtype=np.float64) for v in values]
+    @staticmethod
+    def _reduce(arrays: List[np.ndarray], op: str) -> np.ndarray:
         if op == "sum":
-            result = np.sum(arrays, axis=0)
-        elif op == "mean":
-            result = np.mean(arrays, axis=0)
-        elif op == "max":
-            result = np.max(arrays, axis=0)
-        elif op == "min":
-            result = np.min(arrays, axis=0)
-        else:
-            raise ValueError(f"unsupported op {op!r}")
-        payload = self._nbytes(arrays[0])
-        self.traffic.allreduce_calls += 1
+            return np.sum(arrays, axis=0)
+        if op == "mean":
+            return np.mean(arrays, axis=0)
+        if op == "max":
+            return np.max(arrays, axis=0)
+        if op == "min":
+            return np.min(arrays, axis=0)
+        raise ValueError(f"unsupported op {op!r}")
+
+    def _meter_allreduce(self, payload: int, wasted: bool = False) -> None:
+        volume = 0
         if self.world_size > 1:
-            self.traffic.allreduce_bytes += int(
+            volume = int(
                 2 * (self.world_size - 1) / self.world_size * payload * self.world_size
             )
-        return [result.copy() for _ in range(self.world_size)]
+        if wasted:
+            self.traffic.retry_calls += 1
+            self.traffic.retry_bytes += volume
+        else:
+            self.traffic.allreduce_calls += 1
+            self.traffic.allreduce_bytes += volume
+
+    def allreduce(self, values: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
+        """Reduce across ranks; every rank receives the result.
+
+        With a fault injector attached, failed attempts back off on the
+        simulated clock and retry up to ``retry.max_retries`` times; an
+        injected crash raises :class:`RankCrash` immediately (a dead rank
+        cannot be waited back), and an exhausted retry budget raises
+        :class:`AllreduceTimeout`.
+        """
+        self._check(values)
+        arrays = [np.asarray(v, dtype=np.float64) for v in values]
+        # Validate the op up front so bad ops fail identically on both paths.
+        if op not in ("sum", "mean", "max", "min"):
+            raise ValueError(f"unsupported op {op!r}")
+        payload = self._nbytes(arrays[0])
+
+        if self.injector is None:
+            result = self._reduce(arrays, op)
+            self._meter_allreduce(payload)
+            return [result.copy() for _ in range(self.world_size)]
+
+        call_index = self._allreduce_index
+        self._allreduce_index += 1
+        for attempt in range(self.retry.max_retries + 1):
+            fault = self.injector.poll(call_index, attempt)
+            if fault is None:
+                result = self._reduce(arrays, op)
+                self._meter_allreduce(payload)
+                return [result.copy() for _ in range(self.world_size)]
+            if fault.kind == CRASH:
+                self.events.record(
+                    CRASH, rank=fault.rank, call=call_index, attempt=attempt
+                )
+                raise RankCrash(fault.rank)
+            if fault.kind == TIMEOUT:
+                self.events.record(TIMEOUT, call=call_index, attempt=attempt)
+            else:  # CORRUPT: poison the victim's contribution and detect it.
+                victim = fault.rank % len(arrays)
+                poisoned = list(arrays)
+                poisoned[victim] = np.full_like(arrays[victim], np.nan)
+                trial = self._reduce(poisoned, op)
+                corrupted = not bool(np.isfinite(trial).all())
+                self.events.record(
+                    CORRUPT,
+                    rank=fault.rank,
+                    call=call_index,
+                    attempt=attempt,
+                    detected=corrupted,
+                )
+            # The failed attempt moved (wasted) bytes; account for them.
+            self._meter_allreduce(payload, wasted=True)
+            wait = self.retry.backoff(attempt)
+            self.injector.clock.advance(wait)
+            self.events.record(BACKOFF, call=call_index, seconds=wait)
+            self.events.record(RETRY, call=call_index, attempt=attempt + 1)
+        self.events.record(GIVE_UP, call=call_index)
+        raise AllreduceTimeout(
+            f"allreduce call {call_index} failed after "
+            f"{self.retry.max_retries + 1} attempts"
+        )
 
     def bcast(self, value, root: int = 0) -> List:
         """Every rank receives the root's value."""

@@ -7,6 +7,19 @@ the simulated communicator — step for step the computation a real N-rank
 MPI job performs, because gradient averaging is associative.  What the
 simulation does not reproduce is wall-clock overlap; that is the
 performance model's job (Fig. 2).
+
+Fault handling: with a fault injector attached to the communicator, the
+gradient reduction always goes through ``comm.allreduce`` (so injected
+faults actually hit it).  A rank crash is handled in one of two ways:
+
+* **elastic** (default): the dead rank is dropped, the global batch is
+  re-sharded over the survivors, and the step re-executes in the shrunken
+  world.  The Goyal linear-scaling rule says the learning rate must track
+  the world size; the strategy accumulates the pending ``(new/old)``
+  factor, which the trainer consumes via :meth:`consume_lr_rescale`.
+* **non-elastic**: the crash escalates as :class:`StepFailure`, which the
+  trainer's checkpoint-recovery path catches (restore last checkpoint,
+  revive the world, retry the step).
 """
 
 from __future__ import annotations
@@ -17,6 +30,12 @@ import numpy as np
 
 from repro.data.batching import collate_graphs
 from repro.distributed.comm import SimComm
+from repro.distributed.events import LR_RESCALE, RESHARD
+from repro.distributed.faults import (
+    AllreduceTimeout,
+    RankCrash,
+    StepFailure,
+)
 
 
 class Strategy:
@@ -34,6 +53,13 @@ class Strategy:
     def scale_lr(self, base_lr: float) -> float:
         """Goyal et al. linear rule; identity for single-process training."""
         return base_lr * self.world_size
+
+    def consume_lr_rescale(self) -> float:
+        """Pending LR multiplier from world-size changes (1.0 = none)."""
+        return 1.0
+
+    def on_recover(self) -> None:
+        """Hook the trainer calls after restoring a checkpoint."""
 
 
 class SingleProcessStrategy(Strategy):
@@ -67,6 +93,11 @@ class DDPStrategy(Strategy):
         ``comm.allreduce`` explicitly (slower; used by the equivalence
         tests).  The default fast path exploits in-place accumulation,
         which produces bit-identical averages, and meters the same bytes.
+        A fault injector on the communicator forces the explicit path.
+    elastic:
+        When True (default), a rank crash shrinks the world and the step
+        re-executes on the survivors; when False it raises
+        :class:`StepFailure` for the trainer to recover from a checkpoint.
     """
 
     def __init__(
@@ -75,14 +106,35 @@ class DDPStrategy(Strategy):
         comm: Optional[SimComm] = None,
         collate_fn: Callable = collate_graphs,
         track_per_rank: bool = False,
+        elastic: bool = True,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
+        self.initial_world_size = world_size
         self.comm = comm if comm is not None else SimComm(world_size)
         self.collate_fn = collate_fn
         self.track_per_rank = track_per_rank
+        self.elastic = elastic
+        self._pending_lr_scale = 1.0
 
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self):
+        return self.comm.events
+
+    def consume_lr_rescale(self) -> float:
+        factor = self._pending_lr_scale
+        self._pending_lr_scale = 1.0
+        return factor
+
+    def on_recover(self) -> None:
+        """Checkpoint recovery restarts every rank: restore the full world."""
+        self.comm.restore_world()
+        self.world_size = self.comm.world_size
+        self._pending_lr_scale = 1.0
+
+    # ------------------------------------------------------------------ #
     def shard(self, samples: Sequence) -> List[List]:
         n = len(samples)
         if n < self.world_size:
@@ -98,11 +150,47 @@ class DDPStrategy(Strategy):
         # drop_last sharding in the real sampler.
         return shards
 
+    # ------------------------------------------------------------------ #
+    def _drop_rank(self, dead_rank: int, batch_size: int) -> None:
+        """Elastic degradation: shrink the world and schedule the LR rescale."""
+        old = self.world_size
+        new = self.comm.shrink(dead_rank)
+        self.world_size = new
+        self._pending_lr_scale *= new / old
+        if self.events is not None:
+            self.events.record(
+                RESHARD,
+                world_size=new,
+                batch_size=batch_size,
+                per_rank=batch_size // new,
+            )
+            self.events.record(LR_RESCALE, factor=new / old, world_size=new)
+
     def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
+        while True:
+            try:
+                return self._execute_once(task, samples)
+            except RankCrash as crash:
+                if not self.elastic:
+                    raise StepFailure(
+                        f"rank {crash.rank} crashed (elastic mode off)", cause=crash
+                    ) from crash
+                if self.world_size <= 1:
+                    raise StepFailure(
+                        "no surviving ranks to re-shard onto", cause=crash
+                    ) from crash
+                self._drop_rank(crash.rank, len(samples))
+            except AllreduceTimeout as timeout:
+                raise StepFailure(
+                    "allreduce retry budget exhausted", cause=timeout
+                ) from timeout
+
+    def _execute_once(self, task, samples: Sequence) -> Tuple[float, dict]:
         shards = self.shard(samples)
         params = list(task.parameters())
+        explicit = self.track_per_rank or self.comm.injector is not None
 
-        if self.track_per_rank:
+        if explicit:
             per_rank_grads: List[List[np.ndarray]] = []
             losses = []
             metrics: dict = {}

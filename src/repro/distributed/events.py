@@ -1,0 +1,141 @@
+"""Structured fault/recovery event log and the simulated clock behind it.
+
+Every fault-tolerance action in the distributed and training layers —
+injected faults, allreduce retries, backoff waits, elastic rank drops,
+checkpoint saves/restores — is recorded as a :class:`FaultEvent` in an
+:class:`EventLog`.  Benches and tests assert on the *sequence* of events
+(e.g. ``crash -> restore -> retry -> recover``), which is what makes the
+recovery behaviour testable rather than anecdotal.
+
+Backoff never sleeps: all waiting is modelled by advancing a
+:class:`SimClock`, so fault scenarios run deterministically and in
+milliseconds regardless of the backoff schedule they exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+# Canonical event kinds, in the vocabulary tests assert against.
+CRASH = "crash"
+TIMEOUT = "timeout"
+CORRUPT = "corrupt"
+BACKOFF = "backoff"
+RETRY = "retry"
+RANK_DROP = "rank_drop"
+RESHARD = "reshard"
+LR_RESCALE = "lr_rescale"
+CHECKPOINT_SAVE = "checkpoint_save"
+RESTORE = "restore"
+RECOVER = "recover"
+GIVE_UP = "give_up"
+
+EVENT_KINDS = (
+    CRASH,
+    TIMEOUT,
+    CORRUPT,
+    BACKOFF,
+    RETRY,
+    RANK_DROP,
+    RESHARD,
+    LR_RESCALE,
+    CHECKPOINT_SAVE,
+    RESTORE,
+    RECOVER,
+    GIVE_UP,
+)
+
+
+class SimClock:
+    """Monotonic simulated time; backoff waits advance it instead of sleeping."""
+
+    def __init__(self, start: float = 0.0):
+        self._t = float(start)
+
+    def now(self) -> float:
+        return self._t
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._t += float(seconds)
+        return self._t
+
+
+@dataclass
+class FaultEvent:
+    """One fault-tolerance event: what happened, to whom, and when."""
+
+    time: float
+    kind: str
+    rank: Optional[int] = None
+    step: Optional[int] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" rank={self.rank}" if self.rank is not None else ""
+        at = f" step={self.step}" if self.step is not None else ""
+        return f"FaultEvent(t={self.time:.3f} {self.kind}{where}{at} {self.detail})"
+
+
+class EventLog:
+    """Append-only record of fault/retry/recovery events.
+
+    The log owns (or shares) a :class:`SimClock`; every recorded event is
+    stamped with the clock's current simulated time.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        kind: str,
+        rank: Optional[int] = None,
+        step: Optional[int] = None,
+        **detail,
+    ) -> FaultEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
+        event = FaultEvent(
+            time=self.clock.now(), kind=kind, rank=rank, step=step, detail=detail
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Query helpers for assertions
+    # ------------------------------------------------------------------ #
+    def kinds(self) -> List[str]:
+        """Event kinds in log order."""
+        return [e.kind for e in self.events]
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def has_sequence(self, kinds: Sequence[str]) -> bool:
+        """True when ``kinds`` appears in order (not necessarily contiguous)."""
+        it = iter(self.kinds())
+        return all(any(k == logged for logged in it) for k in kinds)
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind (only kinds that occurred)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)

@@ -11,15 +11,19 @@ from repro.training.metrics import Meter, mean_absolute_error, accuracy
 from repro.training.callbacks import (
     Callback,
     EarlyStopping,
+    FaultEventMonitor,
     ModelCheckpoint,
     LRMonitor,
     ThroughputMeter,
     SpikeDetector,
     GradientStatsMonitor,
 )
-from repro.training.trainer import Trainer, TrainerConfig
+from repro.training.trainer import RecoveryConfig, Trainer, TrainerConfig
 from repro.training.finetune import transfer_encoder, finetune_lr
 from repro.training.checkpoint_io import (
+    CheckpointIntegrityError,
+    load_checkpoint,
+    save_checkpoint,
     save_module,
     load_module,
     save_optimizer,
@@ -33,15 +37,20 @@ __all__ = [
     "accuracy",
     "Callback",
     "EarlyStopping",
+    "FaultEventMonitor",
     "ModelCheckpoint",
     "LRMonitor",
     "ThroughputMeter",
     "SpikeDetector",
     "GradientStatsMonitor",
+    "RecoveryConfig",
     "Trainer",
     "TrainerConfig",
     "transfer_encoder",
     "finetune_lr",
+    "CheckpointIntegrityError",
+    "load_checkpoint",
+    "save_checkpoint",
     "save_module",
     "load_module",
     "save_optimizer",

@@ -3,30 +3,107 @@
 State dicts are flat ``{name: ndarray}`` maps, so ``.npz`` archives are a
 natural, dependency-free container.  Optimizer state nests one level
 (per-parameter moments) and is flattened with a ``/`` separator.
+
+Integrity: every archive written here embeds a CRC32 over its sorted
+contents (``__checksum__``).  Loading verifies the checksum — and wraps
+container-level decode failures — so a corrupted checkpoint raises a
+clear :class:`CheckpointIntegrityError` instead of silently restoring
+wrong weights.  This is the contract the fault-tolerant trainer relies
+on when it restores state after a failed step.
+
+Full trainer snapshots (:func:`save_checkpoint`/:func:`load_checkpoint`)
+bundle module + optimizer + loop position + run history in one directory,
+which is what crash recovery restores.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+import struct
+import zipfile
+import zlib
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
+from repro.training.history import History
 
 
+class CheckpointIntegrityError(RuntimeError):
+    """The checkpoint on disk does not match what was written."""
+
+
+# --------------------------------------------------------------------------- #
+# Checksummed npz archives
+# --------------------------------------------------------------------------- #
+_CHECKSUM_KEY = "__checksum__"
+
+
+def _state_checksum(state: Dict[str, np.ndarray]) -> int:
+    """CRC32 over keys, dtypes, shapes, and raw bytes, in sorted key order."""
+    crc = 0
+    for key in sorted(state):
+        arr = np.ascontiguousarray(state[key])
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(str(arr.dtype).encode("utf-8"), crc)
+        crc = zlib.crc32(str(arr.shape).encode("utf-8"), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _save_npz(path: str, state: Dict[str, np.ndarray]) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = dict(state)
+    payload[_CHECKSUM_KEY] = np.uint32(_state_checksum(state))
+    np.savez(path, **payload)
+
+
+def _load_npz(path: str) -> Dict[str, np.ndarray]:
+    try:
+        with np.load(path) as data:
+            state = {k: data[k].copy() for k in data.files if k != _CHECKSUM_KEY}
+            stored = (
+                int(data[_CHECKSUM_KEY]) if _CHECKSUM_KEY in data.files else None
+            )
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zlib.error,
+        zipfile.BadZipFile,
+        struct.error,
+    ) as exc:
+        raise CheckpointIntegrityError(
+            f"checkpoint {path!r} is unreadable or corrupted: {exc}"
+        ) from exc
+    if stored is not None:
+        actual = _state_checksum(state)
+        if actual != stored:
+            raise CheckpointIntegrityError(
+                f"checkpoint {path!r} failed its integrity check "
+                f"(stored CRC 0x{stored:08x}, recomputed 0x{actual:08x})"
+            )
+    return state
+
+
+# --------------------------------------------------------------------------- #
+# Module / optimizer archives
+# --------------------------------------------------------------------------- #
 def save_module(module: Module, path: str) -> None:
     """Write a module's parameters and buffers to ``path`` (.npz)."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(path, **module.state_dict())
+    _save_npz(path, module.state_dict())
 
 
 def load_module(module: Module, path: str, strict: bool = True) -> Module:
-    """Restore a module's state from ``path``; returns the module."""
-    with np.load(path) as data:
-        state = {k: data[k].copy() for k in data.files}
-    module.load_state_dict(state, strict=strict)
+    """Restore a module's state from ``path``; returns the module.
+
+    Raises :class:`CheckpointIntegrityError` when the archive is corrupted.
+    """
+    module.load_state_dict(_load_npz(path), strict=strict)
     return module
 
 
@@ -40,20 +117,102 @@ def save_optimizer(optimizer: Optimizer, path: str) -> None:
     for param_idx, sub in state["state"].items():
         for name, arr in sub.items():
             flat[f"{param_idx}/{name}"] = arr
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(path, **flat)
+    _save_npz(path, flat)
 
 
 def load_optimizer(optimizer: Optimizer, path: str) -> Optimizer:
     """Restore optimizer state written by :func:`save_optimizer`."""
-    with np.load(path) as data:
-        nested: Dict[int, Dict[str, np.ndarray]] = {}
-        lr = float(data["__lr__"])
-        step_count = int(data["__step_count__"])
-        for key in data.files:
-            if key.startswith("__"):
-                continue
-            param_idx, name = key.split("/", 1)
-            nested.setdefault(int(param_idx), {})[name] = data[key].copy()
+    data = _load_npz(path)
+    nested: Dict[int, Dict[str, np.ndarray]] = {}
+    lr = float(data["__lr__"])
+    step_count = int(data["__step_count__"])
+    for key, arr in data.items():
+        if key.startswith("__"):
+            continue
+        param_idx, name = key.split("/", 1)
+        nested.setdefault(int(param_idx), {})[name] = arr.copy()
     optimizer.load_state_dict({"lr": lr, "step_count": step_count, "state": nested})
     return optimizer
+
+
+# --------------------------------------------------------------------------- #
+# Full trainer snapshots (crash recovery)
+# --------------------------------------------------------------------------- #
+def _collect_rng_states(module: Module) -> Dict[str, dict]:
+    """Snapshot every submodule generator (e.g. dropout masks).
+
+    Without this, a restored-and-retried step would redraw its dropout
+    masks from a further-advanced stream and diverge from the healthy run.
+    """
+    states: Dict[str, dict] = {}
+    for name, sub in module.named_modules():
+        rng = getattr(sub, "rng", None)
+        if isinstance(rng, np.random.Generator):
+            states[name] = rng.bit_generator.state
+    return states
+
+
+def _restore_rng_states(module: Module, states: Dict[str, dict]) -> None:
+    for name, sub in module.named_modules():
+        if name in states:
+            rng = getattr(sub, "rng", None)
+            if isinstance(rng, np.random.Generator):
+                rng.bit_generator.state = states[name]
+
+
+def save_checkpoint(
+    directory: str,
+    module: Module,
+    optimizer: Optimizer,
+    step: int,
+    epoch: int = 0,
+    history: Optional[History] = None,
+) -> str:
+    """Write a complete recovery point under ``directory``; returns the path.
+
+    Layout: ``model.npz`` + ``optim.npz`` (both checksummed) and
+    ``meta.json`` holding loop position and the full history record list.
+    """
+    os.makedirs(directory, exist_ok=True)
+    save_module(module, os.path.join(directory, "model.npz"))
+    save_optimizer(optimizer, os.path.join(directory, "optim.npz"))
+    meta = {
+        "step": int(step),
+        "epoch": int(epoch),
+        "history": list(history.records) if history is not None else [],
+        "rng": _collect_rng_states(module),
+    }
+    meta_path = os.path.join(directory, "meta.json")
+    tmp_path = meta_path + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(meta, fh)
+    os.replace(tmp_path, meta_path)
+    return directory
+
+
+def load_checkpoint(
+    directory: str,
+    module: Module,
+    optimizer: Optimizer,
+    history: Optional[History] = None,
+) -> Dict[str, int]:
+    """Restore a recovery point written by :func:`save_checkpoint`.
+
+    Restores module and optimizer state in place; when ``history`` is
+    given, its records are replaced by the checkpointed ones so the run's
+    loss history resumes exactly.  Returns ``{"step": ..., "epoch": ...}``.
+    """
+    load_module(module, os.path.join(directory, "model.npz"))
+    load_optimizer(optimizer, os.path.join(directory, "optim.npz"))
+    meta_path = os.path.join(directory, "meta.json")
+    try:
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointIntegrityError(
+            f"checkpoint metadata {meta_path!r} is unreadable: {exc}"
+        ) from exc
+    if history is not None:
+        history.records = list(meta.get("history", []))
+    _restore_rng_states(module, meta.get("rng", {}))
+    return {"step": int(meta["step"]), "epoch": int(meta.get("epoch", 0))}

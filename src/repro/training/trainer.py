@@ -5,6 +5,19 @@
 how a global batch becomes gradients — one collated batch for a single
 worker, N rank shards for simulated DDP.  Validation always runs
 single-process (it is metric aggregation, not gradient work).
+
+Fault tolerance: with a :class:`RecoveryConfig`, the trainer writes a
+full recovery point (model + optimizer + loop position + history) every
+``checkpoint_every_n_steps`` steps and guards each training step.  A
+:class:`~repro.distributed.faults.StepFailure` from the strategy — a
+rank crash with elastic mode off, or an exhausted allreduce retry
+budget — triggers restore-and-retry: the last checkpoint is loaded, the
+world is revived (``strategy.on_recover``), and the same global batch
+re-executes.  Because the failed attempt never reached
+``optimizer.step`` and the injected fault is one-shot, the recovered
+run is bit-identical to an uninterrupted one.  Elastic world shrinks
+inside the strategy surface here only as an LR re-scale
+(``consume_lr_rescale``, the Goyal rule tracking the new world size).
 """
 
 from __future__ import annotations
@@ -14,11 +27,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.data.batching import collate_graphs
 from repro.distributed.ddp import SingleProcessStrategy, Strategy
+from repro.distributed.events import CHECKPOINT_SAVE, LR_RESCALE, RECOVER, RESTORE, RETRY, EventLog
+from repro.distributed.faults import StepFailure
 from repro.optim.clip import clip_grad_norm
 from repro.optim.optimizer import Optimizer
 from repro.optim.schedulers import LRScheduler
 from repro.tasks.base import Task, finalize_val_results, merge_val_results
 from repro.training.callbacks import Callback
+from repro.training.checkpoint_io import load_checkpoint, save_checkpoint
 from repro.training.history import History
 
 
@@ -40,6 +56,21 @@ class TrainerConfig:
     val_max_batches: Optional[int] = None
 
 
+@dataclass
+class RecoveryConfig:
+    """Checkpoint-based crash recovery.
+
+    ``checkpoint_dir`` receives ``model.npz``/``optim.npz``/``meta.json``
+    recovery points; ``max_recoveries`` bounds restore-retry loops so an
+    unrecoverable fault cannot spin forever.
+    """
+
+    checkpoint_dir: str
+    checkpoint_every_n_steps: int = 1
+    max_recoveries: int = 8
+    events: Optional[EventLog] = None
+
+
 class Trainer:
     """Fit a task against train/validation loaders."""
 
@@ -49,22 +80,37 @@ class Trainer:
         strategy: Optional[Strategy] = None,
         callbacks: Optional[Sequence[Callback]] = None,
         collate_fn: Callable = collate_graphs,
+        recovery: Optional[RecoveryConfig] = None,
     ):
         self.config = config
         self.strategy = strategy if strategy is not None else SingleProcessStrategy(collate_fn)
         self.callbacks: List[Callback] = list(callbacks or [])
         self.collate_fn = collate_fn
+        self.recovery = recovery
         self.history = History()
         self.global_step = 0
         self.should_stop = False
         self.optimizer: Optional[Optimizer] = None
         self.scheduler: Optional[LRScheduler] = None
         self.last_batch_size = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------ #
     def _emit(self, hook: str, *args) -> None:
         for cb in self.callbacks:
             getattr(cb, hook)(self, *args)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _events(self) -> Optional[EventLog]:
+        if self.recovery is not None and self.recovery.events is not None:
+            return self.recovery.events
+        return getattr(self.strategy, "events", None)
+
+    def _record(self, kind: str, **detail) -> None:
+        events = self._events
+        if events is not None:
+            events.record(kind, step=self.global_step, **detail)
 
     # ------------------------------------------------------------------ #
     def validate(self, task: Task, val_loader) -> Dict[str, float]:
@@ -89,6 +135,54 @@ class Trainer:
         return metrics
 
     # ------------------------------------------------------------------ #
+    # Fault-tolerant step execution
+    # ------------------------------------------------------------------ #
+    def _save_recovery_point(self, task: Task, epoch: int) -> None:
+        assert self.recovery is not None and self.optimizer is not None
+        save_checkpoint(
+            self.recovery.checkpoint_dir,
+            task,
+            self.optimizer,
+            step=self.global_step,
+            epoch=epoch,
+            history=self.history,
+        )
+        self._record(CHECKPOINT_SAVE)
+
+    def _restore_recovery_point(self, task: Task) -> None:
+        assert self.recovery is not None and self.optimizer is not None
+        meta = load_checkpoint(
+            self.recovery.checkpoint_dir, task, self.optimizer, history=self.history
+        )
+        self.global_step = meta["step"]
+        self._record(RESTORE, checkpoint_step=meta["step"])
+        self.strategy.on_recover()
+
+    def _execute_step(self, task: Task, samples: Sequence, optimizer: Optimizer):
+        """One guarded strategy execution with restore-retry on StepFailure."""
+        while True:
+            try:
+                loss, metrics = self.strategy.execute(task, samples)
+            except StepFailure:
+                if self.recovery is None:
+                    raise
+                if self.recoveries >= self.recovery.max_recoveries:
+                    raise
+                self.recoveries += 1
+                self._restore_recovery_point(task)
+                optimizer.zero_grad()
+                self._record(RETRY, recovery=self.recoveries)
+                continue
+            # Elastic world shrinks re-scale the LR by the Goyal rule.
+            factor = self.strategy.consume_lr_rescale()
+            if factor != 1.0:
+                optimizer.lr *= factor
+                if self.scheduler is not None:
+                    self.scheduler.target_lr *= factor
+                self._record(LR_RESCALE, factor=factor, lr=optimizer.lr)
+            return loss, metrics
+
+    # ------------------------------------------------------------------ #
     def fit(
         self,
         task: Task,
@@ -104,6 +198,9 @@ class Trainer:
         self.should_stop = False
         task.train()
         self._emit("on_train_start", task)
+        if self.recovery is not None:
+            # Step-0 recovery point: a first-step failure restores to init.
+            self._save_recovery_point(task, epoch=0)
 
         for epoch in range(self.config.max_epochs):
             sampler = getattr(train_loader, "sampler", None)
@@ -113,11 +210,21 @@ class Trainer:
                 samples = list(samples)
                 self.last_batch_size = len(samples)
                 optimizer.zero_grad()
-                loss, metrics = self.strategy.execute(task, samples)
+                had_failure = self.recoveries
+                loss, metrics = self._execute_step(task, samples, optimizer)
                 if self.config.grad_clip_norm is not None:
                     clip_grad_norm(task.parameters(), self.config.grad_clip_norm)
                 optimizer.step()
                 self.global_step += 1
+                if self.recoveries > had_failure:
+                    # The retried step completed: the run has recovered.
+                    self._record(RECOVER)
+
+                if (
+                    self.recovery is not None
+                    and self.global_step % self.recovery.checkpoint_every_n_steps == 0
+                ):
+                    self._save_recovery_point(task, epoch)
 
                 if self.global_step % self.config.log_every_n_steps == 0:
                     self.history.log(

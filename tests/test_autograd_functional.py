@@ -278,3 +278,51 @@ class TestSegmentOps:
         expected = ((x[src] - x[dst]) ** 2).sum(axis=1, keepdims=True)
         assert np.allclose(out.data, expected)
         gradcheck(lambda t: F.pairwise_sq_dist(t, src, dst), [x])
+
+
+class TestGradcheckHardening:
+    """Finite-difference coverage for ops that previously had only
+    hand-derived gradient tests (or none at all)."""
+
+    def test_where_grad_both_branches(self, rng):
+        cond = np.array([[True, False, True], [False, True, False]])
+        gradcheck(
+            lambda a, b: F.where(cond, a, b),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))],
+        )
+
+    def test_where_grad_with_broadcast_scalar(self, rng):
+        cond = np.array([True, False, True, True])
+        gradcheck(lambda a: F.where(cond, a, Tensor(np.zeros(4))), [rng.normal(size=(4,))])
+
+    def test_dropout_grad_matches_mask(self, rng):
+        # A fresh generator per evaluation pins the mask, so the finite
+        # difference probes the same (fixed) linear map the backward uses.
+        gradcheck(
+            lambda x: F.dropout(x, 0.4, np.random.default_rng(0), training=True),
+            [rng.normal(size=(3, 4))],
+        )
+
+    def test_dropout_eval_grad_is_identity(self, rng):
+        gradcheck(
+            lambda x: F.dropout(x, 0.9, np.random.default_rng(0), training=False),
+            [rng.normal(size=(5,))],
+        )
+
+    def test_softmax_grad_axis0(self, rng):
+        gradcheck(lambda x: F.softmax(x, axis=0), [rng.normal(size=(4, 3))])
+
+    def test_log_softmax_grad_axis0(self, rng):
+        gradcheck(lambda x: F.log_softmax(x, axis=0), [rng.normal(size=(4, 3))])
+
+    def test_stack_axis1_grad(self, rng):
+        gradcheck(
+            lambda a, b: F.stack([a, b], axis=1),
+            [rng.normal(size=(3, 2)), rng.normal(size=(3, 2))],
+        )
+
+    def test_concat_three_tensors_grad(self, rng):
+        gradcheck(
+            lambda a, b, c: F.concat([a, b, c], axis=0),
+            [rng.normal(size=(2, 3)), rng.normal(size=(1, 3)), rng.normal(size=(3, 3))],
+        )
