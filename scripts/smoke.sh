@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Fast test lane: everything except the slow fault-injection and
+# stability-guard scenario suites (run those with -m fault / -m stability).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python -m pytest -x -q -m "not fault and not stability" "$@"

@@ -18,6 +18,11 @@ array([[2., 4.]])
 
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
 from repro.autograd import functional
+from repro.autograd.anomaly import (
+    NumericalAnomalyError,
+    anomaly_enabled,
+    detect_anomaly,
+)
 from repro.autograd.gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
@@ -26,6 +31,9 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "NumericalAnomalyError",
+    "anomaly_enabled",
+    "detect_anomaly",
     "gradcheck",
     "numerical_gradient",
 ]

@@ -24,6 +24,11 @@ TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
 _GRAD_ENABLED = True
 
+#: Depth of nested ``detect_anomaly()`` contexts (see repro.autograd.anomaly).
+#: Non-zero depth makes ``_make`` tag each tape node with its creating op
+#: and scan forward values / backward gradients for NaN/Inf.
+_ANOMALY_DEPTH = 0
+
 
 def is_grad_enabled() -> bool:
     """Return whether gradient recording is currently active."""
@@ -79,7 +84,7 @@ class Tensor:
         and ``backward()`` will populate ``.grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op")
 
     __array_priority__ = 100.0  # make numpy defer to our reflected operators
 
@@ -92,6 +97,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
         self.name = name
+        self._op = ""  # creating-op tag, populated under detect_anomaly()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -157,6 +163,14 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+        if _ANOMALY_DEPTH:
+            from repro.autograd.anomaly import NumericalAnomalyError, op_name_of
+
+            out._op = op_name_of(backward)
+            if not np.all(np.isfinite(out.data)):
+                raise NumericalAnomalyError(
+                    op=out._op, shape=np.shape(out.data), phase="forward"
+                )
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -206,9 +220,29 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        if _ANOMALY_DEPTH and self.grad is not None and not np.all(np.isfinite(self.grad)):
+            from repro.autograd.anomaly import NumericalAnomalyError
+
+            raise NumericalAnomalyError(
+                op=self._op or "leaf", shape=self.data.shape, phase="backward", hop="seed"
+            )
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                parents = node._parents
                 node._backward(node.grad)
+                if _ANOMALY_DEPTH:
+                    from repro.autograd.anomaly import NumericalAnomalyError
+
+                    for parent in parents:
+                        if parent.grad is not None and not np.all(
+                            np.isfinite(parent.grad)
+                        ):
+                            raise NumericalAnomalyError(
+                                op=parent._op or "leaf",
+                                shape=parent.data.shape,
+                                phase="backward",
+                                hop=node._op or "unknown",
+                            )
                 # Free tape references early; keeps long training loops O(1).
                 node._backward = None
                 node._parents = ()

@@ -70,6 +70,9 @@ def cmd_pretrain(args) -> int:
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
         on_fault=args.on_fault,
+        stability_guard=args.stability_guard,
+        on_spike=args.on_spike,
+        detect_anomaly=args.detect_anomaly,
     )
     print(
         f"pretraining: N={cfg.world_size}, B_eff={cfg.effective_batch}, "
@@ -78,6 +81,9 @@ def cmd_pretrain(args) -> int:
     if cfg.fault_profile:
         print(f"fault profile: {cfg.fault_profile} (on_fault={cfg.on_fault}, "
               f"seed={cfg.fault_seed})")
+    if cfg.stability_guard:
+        print(f"stability guard: on_spike={cfg.on_spike}"
+              + (", detect_anomaly" if cfg.detect_anomaly else ""))
     result = pretrain_symmetry(cfg)
     _, ce = result.history.series("val", "ce")
     _, acc = result.history.series("val", "acc")
@@ -89,6 +95,11 @@ def cmd_pretrain(args) -> int:
         counts = result.events.summary()
         summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         print(f"fault events: {summary if summary else 'none'}")
+    if result.guard is not None:
+        g = result.guard.summary()
+        print(f"stability: spikes={g['spikes']}, anomalies={g['anomalies']}, "
+              f"interventions={g['interventions']} ({g['policy']}), "
+              f"lr_deficit={g['lr_deficit']:.3g}")
     return 0
 
 
@@ -215,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--on-fault", default="recover", choices=["recover", "elastic"],
                    help="crash handling: checkpoint recovery (exact) or "
                         "elastic rank drop (re-shard + Goyal LR re-scale)")
+    p.add_argument("--stability-guard", action="store_true",
+                   help="attach the numerical stability guard (loss-spike "
+                        "detection with cross-rank agreement and recovery)")
+    p.add_argument("--on-spike", default="lr_backoff",
+                   choices=["skip_batch", "lr_backoff", "rollback"],
+                   help="recovery policy once the guard confirms a spike")
+    p.add_argument("--detect-anomaly", action="store_true",
+                   help="trace non-finite values to their creating autograd "
+                        "op (slower; implies precise anomaly events)")
     p.set_defaults(fn=cmd_pretrain)
 
     p = sub.add_parser("finetune", help="single-task fine-tuning (Fig. 5)")

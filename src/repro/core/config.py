@@ -41,6 +41,10 @@ class OptimizerConfig:
     warmup_epochs: int = 8
     gamma: float = 0.8
     grad_clip_norm: Optional[float] = None
+    #: Stable-variant switches (see repro.optim.Adam): AMSGrad second-moment
+    #: maximum and StableAdamW-style RMS update clipping.
+    amsgrad: bool = False
+    update_clip: Optional[float] = None
 
 
 @dataclass
@@ -84,6 +88,19 @@ class PretrainConfig:
     on_fault: str = "recover"
     #: Recovery-point directory; a temporary directory when None.
     checkpoint_dir: Optional[str] = None
+    #: Attach the numerical stability guard (loss-spike detection with
+    #: cross-rank agreement, optimizer-statistics monitors, recovery).
+    stability_guard: bool = False
+    #: Recovery policy when the guard confirms a spike:
+    #: "skip_batch" | "lr_backoff" | "rollback".
+    on_spike: str = "lr_backoff"
+    #: Run training under ``repro.autograd.detect_anomaly`` so non-finite
+    #: tape values are pinpointed to their creating op (slower; routed to
+    #: the guard when one is attached).
+    detect_anomaly: bool = False
+    #: Full guard threshold overrides; built from ``on_spike`` when None.
+    #: (Typed loosely to keep this module import-light.)
+    stability: Optional[object] = None
 
     @property
     def effective_batch(self) -> int:

@@ -57,6 +57,7 @@ from repro.analysis import (
     silhouette_by_label,
 )
 from repro.optim import AdamW, MultiGroupOptimizer, WarmupExponential, scale_lr_for_ddp
+from repro.stability import StabilityConfig, StabilityGuard
 from repro.tasks import (
     MultiClassClassificationTask,
     MultiTaskModule,
@@ -118,6 +119,8 @@ class PretrainResult:
     config: PretrainConfig
     #: Fault/recovery event log; None for healthy runs.
     events: Optional[EventLog] = None
+    #: Numerical stability guard; None unless ``config.stability_guard``.
+    guard: Optional[StabilityGuard] = None
 
     @property
     def final_val_ce(self) -> Optional[float]:
@@ -176,6 +179,8 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         betas=opt_cfg.betas,
         eps=opt_cfg.eps,
         weight_decay=opt_cfg.weight_decay,
+        amsgrad=opt_cfg.amsgrad,
+        update_clip=opt_cfg.update_clip,
     )
     scheduler = WarmupExponential(
         optimizer,
@@ -224,6 +229,26 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
             if config.world_size > 1
             else SingleProcessStrategy()
         )
+    guard: Optional[StabilityGuard] = None
+    if config.stability_guard:
+        if events is None:
+            events = EventLog(SimClock())
+        stability_cfg = config.stability
+        if stability_cfg is None:
+            stability_cfg = StabilityConfig(policy=config.on_spike)
+        guard = StabilityGuard(stability_cfg, events=events)
+        if guard.policy.name == "rollback" and recovery is None:
+            # Rollback restores the same CRC-checked recovery points the
+            # fault-tolerance path writes; provision them if absent.
+            ckpt_dir = config.checkpoint_dir
+            if ckpt_dir is None:
+                import tempfile
+
+                ckpt_dir = tempfile.mkdtemp(prefix="repro-stability-")
+            recovery = RecoveryConfig(
+                checkpoint_dir=ckpt_dir, checkpoint_every_n_steps=1, events=events
+            )
+
     spikes = SpikeDetector(monitor="ce")
     throughput = ThroughputMeter()
     lr_monitor = LRMonitor()
@@ -236,11 +261,13 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
             max_steps=config.max_steps,
             val_every_n_steps=config.val_every_n_steps,
             grad_clip_norm=opt_cfg.grad_clip_norm,
+            detect_anomaly=config.detect_anomaly,
             log_every_n_steps=5,
         ),
         strategy=strategy,
         callbacks=callbacks,
         recovery=recovery,
+        stability=guard,
     )
     history = trainer.fit(task, train_loader, val_loader, optimizer, scheduler)
     return PretrainResult(
@@ -251,6 +278,7 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         lr_trace=lr_monitor.trace,
         config=config,
         events=events,
+        guard=guard,
     )
 
 

@@ -46,6 +46,11 @@ class Strategy:
     """
 
     world_size: int = 1
+    #: Per-rank shard losses from the most recent ``execute`` call.  The
+    #: stability guard evaluates its spike detectors rank-by-rank on these
+    #: (each real DDP rank only sees its own shard loss) before agreeing on
+    #: a verdict through the communicator.
+    last_rank_losses: List[float] = []
 
     def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
         raise NotImplementedError
@@ -73,7 +78,9 @@ class SingleProcessStrategy(Strategy):
         batch = self.collate_fn(list(samples))
         loss, metrics = task.training_step(batch)
         loss.backward()
-        return float(loss.data), metrics
+        value = float(loss.data)
+        self.last_rank_losses = [value]
+        return value, metrics
 
 
 class DDPStrategy(Strategy):
@@ -212,6 +219,7 @@ class DDPStrategy(Strategy):
                     [g[i] for g in per_rank_grads], op="mean"
                 )
                 p.grad = reduced[0]
+            self.last_rank_losses = list(losses)
             return float(np.mean(losses)), metrics
 
         # Fast path: accumulate in place (gradient sums are associative),
@@ -235,4 +243,5 @@ class DDPStrategy(Strategy):
             self.comm.traffic.allreduce_bytes += int(
                 2 * (self.world_size - 1) / self.world_size * payload * self.world_size
             )
+        self.last_rank_losses = list(losses)
         return float(np.mean(losses)), metrics

@@ -30,6 +30,15 @@ CHECKPOINT_SAVE = "checkpoint_save"
 RESTORE = "restore"
 RECOVER = "recover"
 GIVE_UP = "give_up"
+# Numerical-stability guard vocabulary (detection and recovery transitions).
+SPIKE = "spike"
+ANOMALY = "anomaly"
+GRAD_NORM_ALERT = "grad_norm_alert"
+EPS_FLOOR_ALERT = "eps_floor_alert"
+GUARD_SKIP = "guard_skip"
+LR_BACKOFF = "lr_backoff"
+LR_REWARM = "lr_rewarm"
+ROLLBACK = "rollback"
 
 EVENT_KINDS = (
     CRASH,
@@ -44,6 +53,14 @@ EVENT_KINDS = (
     RESTORE,
     RECOVER,
     GIVE_UP,
+    SPIKE,
+    ANOMALY,
+    GRAD_NORM_ALERT,
+    EPS_FLOOR_ALERT,
+    GUARD_SKIP,
+    LR_BACKOFF,
+    LR_REWARM,
+    ROLLBACK,
 )
 
 

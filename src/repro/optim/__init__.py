@@ -19,7 +19,7 @@ from repro.optim.schedulers import (
     CosineAnnealing,
     scale_lr_for_ddp,
 )
-from repro.optim.clip import clip_grad_norm
+from repro.optim.clip import NonFiniteGradientError, clip_grad_norm
 from repro.optim.grouped import MultiGroupOptimizer
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "SequentialLR",
     "CosineAnnealing",
     "scale_lr_for_ddp",
+    "NonFiniteGradientError",
     "clip_grad_norm",
     "MultiGroupOptimizer",
 ]

@@ -12,7 +12,7 @@ entries at the eps floor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
@@ -21,7 +21,19 @@ from repro.optim.optimizer import Optimizer
 
 
 class Adam(Optimizer):
-    """Adam with coupled (L2) weight decay."""
+    """Adam with coupled (L2) weight decay.
+
+    Two stabilised variants of the update rule are available for the
+    spike-mitigation ablations:
+
+    * ``amsgrad=True`` — divide by the running *maximum* of the
+      second-moment estimate (Reddi et al., 2018) instead of its current
+      value, so the effective step size is monotonically non-increasing
+      and cannot rebound when ``v`` decays toward the eps floor.
+    * ``update_clip=r`` — StableAdamW-style clipping of the per-tensor
+      RMS of the final update to at most ``r``: a spike in ``m/sqrt(v)``
+      is bounded before it reaches the parameters.
+    """
 
     def __init__(
         self,
@@ -30,15 +42,21 @@ class Adam(Optimizer):
         betas: tuple = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        amsgrad: bool = False,
+        update_clip: Optional[float] = None,
     ) -> None:
         super().__init__(params, lr)
         beta1, beta2 = betas
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
             raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if update_clip is not None and update_clip <= 0:
+            raise ValueError(f"update_clip must be > 0, got {update_clip}")
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
+        self.amsgrad = amsgrad
+        self.update_clip = update_clip
         self._decoupled = False
 
     def step(self) -> None:
@@ -56,14 +74,25 @@ class Adam(Optimizer):
             if "m" not in state:
                 state["m"] = np.zeros_like(p.data)
                 state["v"] = np.zeros_like(p.data)
+                if self.amsgrad:
+                    state["vmax"] = np.zeros_like(p.data)
             m, v = state["m"], state["v"]
             m *= self.beta1
             m += (1.0 - self.beta1) * g
             v *= self.beta2
             v += (1.0 - self.beta2) * g * g
             m_hat = m / bias1
-            v_hat = v / bias2
+            if self.amsgrad:
+                vmax = state["vmax"]
+                np.maximum(vmax, v, out=vmax)
+                v_hat = vmax / bias2
+            else:
+                v_hat = v / bias2
             update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.update_clip is not None:
+                rms = float(np.sqrt(np.mean(update * update)))
+                if rms > self.update_clip:
+                    update *= self.update_clip / rms
             if self.weight_decay and self._decoupled:
                 p.data -= self.lr * self.weight_decay * p.data
             p.data -= self.lr * update
@@ -110,6 +139,16 @@ class AdamW(Adam):
         betas: tuple = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 1e-2,
+        amsgrad: bool = False,
+        update_clip: Optional[float] = None,
     ) -> None:
-        super().__init__(params, lr, betas=betas, eps=eps, weight_decay=weight_decay)
+        super().__init__(
+            params,
+            lr,
+            betas=betas,
+            eps=eps,
+            weight_decay=weight_decay,
+            amsgrad=amsgrad,
+            update_clip=update_clip,
+        )
         self._decoupled = True

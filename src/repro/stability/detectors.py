@@ -1,0 +1,198 @@
+"""Numerical-stability detectors: loss spikes, gradient norms, eps floor.
+
+The paper's Fig. 3 instability shows up in three observables, each with its
+own detector here:
+
+* :class:`RollingSpikeDetector` — the primary trigger.  A robust z-score
+  over a rolling window of recent losses (median/MAD, the standard
+  outlier-resistant recipe used by the spike-mitigation literature for
+  crystal pretraining); non-finite losses and losses beyond a
+  multiplicative factor of the rolling median also flag, covering the
+  "loss -> NaN" and ">10x median" divergence signatures directly.
+* :class:`GradNormMonitor` — flags when the global gradient norm is
+  non-finite or explodes past a factor of its own rolling median (the
+  quantity Molybog et al. correlate with Adam divergence events).
+* :class:`EpsFloorMonitor` — flags when the fraction of second-moment
+  entries at Adam's eps floor (``Adam.update_statistics``) crosses a
+  threshold: the documented *precondition* for the large-batch spikes, so
+  it fires as an early warning before the loss ever moves.
+
+Detectors are pure observers: ``observe`` returns a verdict dict and never
+touches the model.  Spiking samples are *not* absorbed into the rolling
+window, so one spike cannot inflate the MAD and mask its successors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+#: Scale factor turning a MAD into a consistent sigma estimate for
+#: normally distributed data.
+MAD_SIGMA = 1.4826
+
+
+@dataclass
+class Verdict:
+    """One detector decision about one observation."""
+
+    flagged: bool
+    reason: str = ""
+    value: float = float("nan")
+    median: float = float("nan")
+    score: float = float("nan")
+
+    def as_detail(self) -> Dict[str, object]:
+        """Event-log payload (finite floats only, NaN -> None)."""
+        def _clean(x: float) -> Optional[float]:
+            return float(x) if math.isfinite(x) else None
+
+        return {
+            "reason": self.reason,
+            "value": _clean(self.value),
+            "median": _clean(self.median),
+            "score": _clean(self.score),
+        }
+
+
+class RollingSpikeDetector:
+    """Median/MAD loss-spike detector over a rolling window.
+
+    Parameters
+    ----------
+    window:
+        Number of recent healthy losses retained.
+    threshold:
+        Robust z-score (MADs above the median) that counts as a spike.
+    spike_factor:
+        Multiplicative guard: ``loss > spike_factor * median`` flags even
+        when the MAD is tiny (a flat-lined window makes z-scores explode
+        for harmless wiggles, so both conditions must be principled).
+    warmup:
+        Observations absorbed unconditionally before detection starts
+        (initial losses are legitimately far from their final scale).
+    """
+
+    def __init__(
+        self,
+        window: int = 16,
+        threshold: float = 6.0,
+        spike_factor: float = 10.0,
+        warmup: int = 5,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if threshold <= 0 or spike_factor <= 1:
+            raise ValueError("threshold must be > 0 and spike_factor > 1")
+        self.window = window
+        self.threshold = threshold
+        self.spike_factor = spike_factor
+        self.warmup = warmup
+        self.values: Deque[float] = deque(maxlen=window)
+        self.observed = 0
+        self.flag_count = 0
+
+    # ------------------------------------------------------------------ #
+    def _stats(self) -> tuple:
+        arr = np.asarray(self.values, dtype=np.float64)
+        med = float(np.median(arr))
+        mad = float(np.median(np.abs(arr - med)))
+        return med, mad
+
+    def score(self, value: float) -> Verdict:
+        """Pure decision about one loss sample (no window mutation).
+
+        The guard scores every rank, agrees on a verdict through the
+        communicator, and only then :meth:`absorb`s healthy samples — so
+        rank windows stay identical regardless of which rank flagged.
+        """
+        value = float(value)
+        self.observed += 1
+        if not math.isfinite(value):
+            self.flag_count += 1
+            return Verdict(True, reason="nonfinite", value=value)
+        if self.observed <= self.warmup or len(self.values) < 2:
+            return Verdict(False, reason="warmup", value=value)
+        med, mad = self._stats()
+        sigma = max(MAD_SIGMA * mad, 1e-12, 1e-3 * abs(med))
+        score = (value - med) / sigma
+        if score > self.threshold and value > self.spike_factor * med > 0:
+            self.flag_count += 1
+            return Verdict(True, reason="spike", value=value, median=med, score=score)
+        return Verdict(False, value=value, median=med, score=score)
+
+    def absorb(self, value: float) -> None:
+        """Add a healthy sample to the rolling window."""
+        value = float(value)
+        if math.isfinite(value):
+            self.values.append(value)
+
+    def observe(self, value: float) -> Verdict:
+        """Score one loss sample; healthy samples join the window."""
+        verdict = self.score(value)
+        if not verdict.flagged:
+            self.absorb(value)
+        return verdict
+
+
+class GradNormMonitor:
+    """Flag non-finite or exploding global gradient norms."""
+
+    def __init__(self, factor: float = 100.0, window: int = 16, warmup: int = 5):
+        if factor <= 1:
+            raise ValueError(f"factor must be > 1, got {factor}")
+        self.factor = factor
+        self.warmup = warmup
+        self.values: Deque[float] = deque(maxlen=window)
+        self.observed = 0
+        self.flag_count = 0
+
+    def observe(self, norm: float) -> Verdict:
+        norm = float(norm)
+        self.observed += 1
+        if not math.isfinite(norm):
+            self.flag_count += 1
+            return Verdict(True, reason="nonfinite", value=norm)
+        if self.observed <= self.warmup or len(self.values) < 2:
+            self.values.append(norm)
+            return Verdict(False, reason="warmup", value=norm)
+        med = float(np.median(np.asarray(self.values)))
+        if med > 0 and norm > self.factor * med:
+            self.flag_count += 1
+            return Verdict(True, reason="explode", value=norm, median=med)
+        self.values.append(norm)
+        return Verdict(False, value=norm, median=med)
+
+
+class EpsFloorMonitor:
+    """Flag a high eps-floor fraction in Adam's second moments.
+
+    ``fraction`` comes from :meth:`repro.optim.Adam.update_statistics`:
+    the share of ``v`` entries below ``eps**2``.  Large fractions mean the
+    effective update is dominated by the division guard and layer-wise
+    dynamics decouple — the Molybog et al. precondition for spikes.
+    """
+
+    def __init__(self, threshold: float = 0.9, patience: int = 3):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.patience = patience
+        self.streak = 0
+        self.flag_count = 0
+
+    def observe(self, fraction: float) -> Verdict:
+        fraction = float(fraction)
+        if fraction >= self.threshold:
+            self.streak += 1
+        else:
+            self.streak = 0
+        if self.streak == self.patience:
+            # Alert once per sustained excursion, not every step of it.
+            self.flag_count += 1
+            return Verdict(True, reason="eps_floor", value=fraction)
+        return Verdict(False, value=fraction)

@@ -1,0 +1,252 @@
+"""The training stability guard: detection, rank agreement, recovery.
+
+``StabilityGuard`` sits between the trainer's backward pass and
+``optimizer.step``.  Each step it:
+
+1. scores every simulated DDP rank's shard loss with that rank's own
+   rolling median/MAD spike detector (real ranks only see their own
+   shard loss, so detection state is kept per rank);
+2. agrees on a single verdict across ranks through the communicator's
+   ``allreduce(op="max")`` — any flagging rank escalates every rank, so
+   workers never diverge on whether a step happened;
+3. runs the gradient-norm and eps-floor monitors off
+   ``Adam.update_statistics`` and emits structured alerts;
+4. on a confirmed spike, records a ``spike`` event and hands the trainer
+   to the configured recovery policy (``skip_batch`` / ``lr_backoff`` /
+   ``rollback``); on a healthy step it lets the policy re-warm any
+   pending LR cut.
+
+Autograd anomalies (:class:`~repro.autograd.NumericalAnomalyError` raised
+under the trainer's ``detect_anomaly`` mode) enter through
+:meth:`on_anomaly` and take the same recovery path, with the offending op
+name recorded in the event.
+
+The guard is deliberately trainer-agnostic: it only touches
+``trainer.optimizer``/``trainer.scheduler``/``trainer.strategy`` plus the
+checkpoint-restore hook, so tests can drive it with a stub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distributed.events import (
+    ANOMALY,
+    EPS_FLOOR_ALERT,
+    GIVE_UP,
+    GRAD_NORM_ALERT,
+    SPIKE,
+    EventLog,
+)
+from repro.stability.detectors import (
+    EpsFloorMonitor,
+    GradNormMonitor,
+    RollingSpikeDetector,
+)
+from repro.stability.policies import RecoveryPolicy, make_policy
+
+
+@dataclass
+class StabilityConfig:
+    """Thresholds and recovery behaviour of the guard.
+
+    Defaults are calibrated on the Fig. 3 large-batch pretraining setting:
+    a 16-step window, 6-MAD z-score with a 10x-median multiplicative
+    guard, halve-and-rewarm LR handling, and a generous intervention
+    budget so an unrecoverable run degrades to pass-through instead of
+    spinning forever.
+    """
+
+    window: int = 16
+    threshold: float = 6.0
+    spike_factor: float = 10.0
+    warmup_steps: int = 5
+    policy: str = "lr_backoff"
+    backoff_factor: float = 0.5
+    rewarm_steps: int = 20
+    max_interventions: int = 32
+    grad_norm_factor: float = 100.0
+    eps_floor_threshold: float = 0.9
+    eps_floor_patience: int = 3
+    monitor_every: int = 1
+
+
+class StabilityGuard:
+    """Loss-spike detection with rank agreement and pluggable recovery."""
+
+    def __init__(
+        self,
+        config: Optional[StabilityConfig] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.config = config if config is not None else StabilityConfig()
+        self.events = events if events is not None else EventLog()
+        self.policy: RecoveryPolicy = make_policy(
+            self.config.policy,
+            backoff_factor=self.config.backoff_factor,
+            rewarm_steps=self.config.rewarm_steps,
+        )
+        self._rank_detectors: List[RollingSpikeDetector] = []
+        self.grad_monitor = GradNormMonitor(
+            factor=self.config.grad_norm_factor, window=self.config.window
+        )
+        self.eps_monitor = EpsFloorMonitor(
+            threshold=self.config.eps_floor_threshold,
+            patience=self.config.eps_floor_patience,
+        )
+        self.interventions = 0
+        self.exhausted = False
+        #: Pre-agreement local votes and the agreed per-rank verdicts of
+        #: the most recent step (tests assert the latter are identical).
+        self.last_votes: List[bool] = []
+        self.last_agreed: List[bool] = []
+
+    # ------------------------------------------------------------------ #
+    def _make_detector(self) -> RollingSpikeDetector:
+        return RollingSpikeDetector(
+            window=self.config.window,
+            threshold=self.config.threshold,
+            spike_factor=self.config.spike_factor,
+            warmup=self.config.warmup_steps,
+        )
+
+    def _detectors_for(self, n: int) -> List[RollingSpikeDetector]:
+        """Per-rank detectors, resized for elastic world changes."""
+        while len(self._rank_detectors) < n:
+            self._rank_detectors.append(self._make_detector())
+        return self._rank_detectors[:n]
+
+    # ------------------------------------------------------------------ #
+    def _agree(self, strategy, votes: List[bool]) -> List[bool]:
+        """Reduce per-rank votes to identical per-rank verdicts.
+
+        Goes through the communicator's allreduce (max) when the strategy
+        has one, exactly as a real job would; a fault injected into that
+        collective falls back to the local reduction so the guard never
+        turns a comm fault into a lost verdict.
+        """
+        comm = getattr(strategy, "comm", None)
+        if comm is not None and comm.world_size == len(votes) > 1:
+            from repro.distributed.faults import AllreduceTimeout, RankCrash
+
+            try:
+                reduced = comm.allreduce(
+                    [np.asarray(float(v)) for v in votes], op="max"
+                )
+                return [bool(float(r) > 0.0) for r in reduced]
+            except (RankCrash, AllreduceTimeout):
+                pass
+        return [any(votes)] * len(votes)
+
+    # ------------------------------------------------------------------ #
+    def _run_monitors(self, trainer, record) -> bool:
+        """Gradient-norm / eps-floor monitors; True forces an intervention."""
+        optimizer = trainer.optimizer
+        if optimizer is None or not hasattr(optimizer, "update_statistics"):
+            return False
+        if trainer.global_step % max(self.config.monitor_every, 1) != 0:
+            return False
+        stats = optimizer.update_statistics()
+        force = False
+        gv = self.grad_monitor.observe(stats.get("grad_norm", 0.0))
+        if gv.flagged:
+            record(GRAD_NORM_ALERT, **gv.as_detail())
+            # A non-finite gradient norm would poison the parameters on
+            # step(); escalate it even when the loss still looks healthy.
+            force = gv.reason == "nonfinite"
+        ev = self.eps_monitor.observe(stats.get("eps_floor_fraction", 0.0))
+        if ev.flagged:
+            record(EPS_FLOOR_ALERT, **ev.as_detail())
+        return force
+
+    # ------------------------------------------------------------------ #
+    def _intervene(self, trainer, task, record) -> bool:
+        """Apply the recovery policy within the intervention budget."""
+        if self.interventions >= self.config.max_interventions:
+            if not self.exhausted:
+                self.exhausted = True
+                record(GIVE_UP, guard=True, interventions=self.interventions)
+            return False
+        self.interventions += 1
+        self.policy.on_spike(trainer, task, record)
+        return True
+
+    def guard_step(self, trainer, task, loss: float) -> bool:
+        """Check one completed forward/backward; True = skip optimizer.step.
+
+        Called by the trainer with averaged gradients on the parameters
+        and ``loss`` the global (post-mask) scalar training loss.
+        """
+        step = trainer.global_step
+
+        def record(kind, **detail):
+            return self.events.record(kind, step=step, **detail)
+
+        strategy = trainer.strategy
+        rank_losses = list(getattr(strategy, "last_rank_losses", None) or [loss])
+        detectors = self._detectors_for(len(rank_losses))
+        verdicts = [d.score(v) for d, v in zip(detectors, rank_losses)]
+        votes = [v.flagged for v in verdicts]
+        agreed = self._agree(strategy, votes)
+        self.last_votes = votes
+        self.last_agreed = agreed
+
+        forced = self._run_monitors(trainer, record)
+        spiking = agreed[0] or forced
+
+        if not spiking:
+            for detector, value in zip(detectors, rank_losses):
+                detector.absorb(value)
+            self.policy.on_healthy_step(trainer, record)
+            return False
+
+        worst = max(
+            (v for v in verdicts if v.flagged),
+            key=lambda v: (v.score if np.isfinite(v.score) else np.inf),
+            default=verdicts[0],
+        )
+        record(
+            SPIKE,
+            loss=float(loss) if np.isfinite(loss) else None,
+            votes=list(votes),
+            agreed=list(agreed),
+            policy=self.policy.name,
+            forced_by_monitor=bool(forced and not agreed[0]),
+            **worst.as_detail(),
+        )
+        return self._intervene(trainer, task, record)
+
+    # ------------------------------------------------------------------ #
+    def on_anomaly(self, trainer, task, error) -> bool:
+        """Recovery entry point for autograd anomaly-tracing errors."""
+        step = trainer.global_step
+
+        def record(kind, **detail):
+            return self.events.record(kind, step=step, **detail)
+
+        record(
+            ANOMALY,
+            op=getattr(error, "op", "unknown"),
+            phase=getattr(error, "phase", "unknown"),
+            shape=list(getattr(error, "shape", ())),
+            hop=getattr(error, "hop", None),
+            policy=self.policy.name,
+        )
+        return self._intervene(trainer, task, record)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        """Counters for CLI/bench reporting."""
+        return {
+            "interventions": self.interventions,
+            "spikes": self.events.count(SPIKE),
+            "anomalies": self.events.count(ANOMALY),
+            "grad_norm_alerts": self.events.count(GRAD_NORM_ALERT),
+            "eps_floor_alerts": self.events.count(EPS_FLOOR_ALERT),
+            "policy": self.policy.name,
+            "lr_deficit": self.policy.deficit,
+            "exhausted": self.exhausted,
+        }

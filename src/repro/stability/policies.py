@@ -1,0 +1,148 @@
+"""Recovery policies: what to do once the guard declares a spike.
+
+Three strategies, in increasing order of intervention, following the spike
+mitigation recipes surveyed for scalable crystal pretraining:
+
+* ``skip_batch`` — zero the offending step and keep going.  Cheap; right
+  when the spike is a one-off bad batch rather than poisoned parameters.
+* ``lr_backoff`` — skip the step *and* cut the learning rate by a
+  multiplicative factor, then re-warm it geometrically over the next
+  healthy steps.  Right when the schedule pushed Adam past its stability
+  edge (the Fig. 3 regime): the cut moves the run back inside the stable
+  region, the re-warm probes whether the edge has moved.
+* ``rollback`` — restore the last-good CRC-checked checkpoint (model +
+  optimizer moments + RNG streams via ``checkpoint_io``), then resume
+  with a reduced learning rate under the same re-warm.  Right when the
+  loss reveals parameters that are already poisoned.
+
+Every policy mutates training only through the trainer handle it is given
+and records its transitions in the event log via the guard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distributed.events import GUARD_SKIP, LR_BACKOFF, LR_REWARM, ROLLBACK
+
+#: Registry name -> class, populated at the bottom of the module.
+POLICIES = {}
+
+
+class RecoveryPolicy:
+    """Base policy.  Subclasses override ``on_spike``; the re-warm ladder
+    in ``on_healthy_step`` is shared by the LR-cutting policies."""
+
+    name = "base"
+
+    def __init__(self, backoff_factor: float = 0.5, rewarm_steps: int = 20):
+        if not 0.0 < backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be in (0, 1), got {backoff_factor}")
+        if rewarm_steps < 1:
+            raise ValueError(f"rewarm_steps must be >= 1, got {rewarm_steps}")
+        self.backoff_factor = backoff_factor
+        self.rewarm_steps = rewarm_steps
+        #: Current multiplicative LR deficit (1.0 = schedule-nominal rate).
+        self.deficit = 1.0
+        # Per-step re-warm ratio: one full cut recovers over rewarm_steps.
+        self._rewarm_ratio = (1.0 / backoff_factor) ** (1.0 / rewarm_steps)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scale_lr(trainer, factor: float) -> float:
+        """Scale the live LR and the scheduler target (so epoch-boundary
+        scheduler steps do not silently undo the cut); returns the new LR."""
+        trainer.optimizer.lr *= factor
+        if trainer.scheduler is not None:
+            trainer.scheduler.target_lr *= factor
+        return trainer.optimizer.lr
+
+    def _cut(self, trainer) -> float:
+        self.deficit *= self.backoff_factor
+        return self._scale_lr(trainer, self.backoff_factor)
+
+    # ------------------------------------------------------------------ #
+    def on_spike(self, trainer, task, record) -> str:
+        """Handle a confirmed spike; returns the event kind recorded.
+
+        ``record(kind, **detail)`` appends to the guard's event log.
+        """
+        raise NotImplementedError
+
+    def on_healthy_step(self, trainer, record) -> None:
+        """Re-warm a cut learning rate geometrically back to nominal."""
+        if self.deficit >= 1.0:
+            return
+        step = min(self._rewarm_ratio, 1.0 / self.deficit)
+        self._scale_lr(trainer, step)
+        self.deficit = min(self.deficit * step, 1.0)
+        if self.deficit >= 1.0:
+            record(LR_REWARM, lr=trainer.optimizer.lr)
+
+
+class SkipBatch(RecoveryPolicy):
+    """Zero the poisoned step; parameters and LR are untouched."""
+
+    name = "skip_batch"
+
+    def on_spike(self, trainer, task, record) -> str:
+        record(GUARD_SKIP, lr=trainer.optimizer.lr)
+        return GUARD_SKIP
+
+
+class LRBackoff(RecoveryPolicy):
+    """Skip the step and cut the LR, with a scheduled geometric re-warm."""
+
+    name = "lr_backoff"
+
+    def on_spike(self, trainer, task, record) -> str:
+        lr = self._cut(trainer)
+        record(LR_BACKOFF, lr=lr, factor=self.backoff_factor, deficit=self.deficit)
+        return LR_BACKOFF
+
+
+class Rollback(RecoveryPolicy):
+    """Restore the last-good checkpoint, then resume at a reduced LR.
+
+    Requires the trainer to run with a :class:`RecoveryConfig` — the same
+    CRC-checked recovery points the fault-tolerance path writes (model,
+    optimizer moments, loop position, per-module RNG streams), so the
+    restored state is bit-exact.  The checkpoint restores the LR that was
+    live when it was saved; the fresh cut is applied on top of it.
+    """
+
+    name = "rollback"
+
+    def on_spike(self, trainer, task, record) -> str:
+        if trainer.recovery is None:
+            raise RuntimeError(
+                "rollback recovery policy requires the trainer to be "
+                "configured with a RecoveryConfig (checkpoint_dir)"
+            )
+        restored_step = trainer.global_step
+        trainer._restore_recovery_point(task)
+        lr = self._cut(trainer)
+        record(
+            ROLLBACK,
+            from_step=restored_step,
+            to_step=trainer.global_step,
+            lr=lr,
+            factor=self.backoff_factor,
+        )
+        return ROLLBACK
+
+
+POLICIES = {p.name: p for p in (SkipBatch, LRBackoff, Rollback)}
+
+
+def make_policy(
+    name: str,
+    backoff_factor: float = 0.5,
+    rewarm_steps: int = 20,
+) -> RecoveryPolicy:
+    """Instantiate a recovery policy by registry name."""
+    if name not in POLICIES:
+        raise ValueError(
+            f"unknown recovery policy {name!r}; expected one of {sorted(POLICIES)}"
+        )
+    return POLICIES[name](backoff_factor=backoff_factor, rewarm_steps=rewarm_steps)

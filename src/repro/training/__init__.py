@@ -14,6 +14,7 @@ from repro.training.callbacks import (
     FaultEventMonitor,
     ModelCheckpoint,
     LRMonitor,
+    ProgressCallback,
     ThroughputMeter,
     SpikeDetector,
     GradientStatsMonitor,
@@ -40,6 +41,7 @@ __all__ = [
     "FaultEventMonitor",
     "ModelCheckpoint",
     "LRMonitor",
+    "ProgressCallback",
     "ThroughputMeter",
     "SpikeDetector",
     "GradientStatsMonitor",

@@ -18,6 +18,17 @@ re-executes.  Because the failed attempt never reached
 run is bit-identical to an uninterrupted one.  Elastic world shrinks
 inside the strategy surface here only as an LR re-scale
 (``consume_lr_rescale``, the Goyal rule tracking the new world size).
+
+Numerical stability: with a :class:`~repro.stability.StabilityGuard`
+attached, every completed forward/backward is checked *before*
+``optimizer.step``.  A confirmed loss spike (or, under
+``TrainerConfig.detect_anomaly``, a non-finite value caught on the
+autograd tape) makes the step an *intervention*: gradients are zeroed,
+``optimizer.step`` / gradient clipping / checkpoint saving are skipped,
+the guard's recovery policy runs (skip / LR backoff / checkpoint
+rollback), and the step still counts toward loop progress so a
+persistently sick run terminates at ``max_steps`` instead of spinning.
+Intervened losses never enter the history's train series.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from repro.data.batching import collate_graphs
 from repro.distributed.ddp import SingleProcessStrategy, Strategy
 from repro.distributed.events import CHECKPOINT_SAVE, LR_RESCALE, RECOVER, RESTORE, RETRY, EventLog
 from repro.distributed.faults import StepFailure
+from repro.autograd.anomaly import NumericalAnomalyError, detect_anomaly
 from repro.optim.clip import clip_grad_norm
 from repro.optim.optimizer import Optimizer
 from repro.optim.schedulers import LRScheduler
@@ -52,6 +64,16 @@ class TrainerConfig:
     val_every_n_steps: Optional[int] = None
     val_every_n_epochs: int = 1
     grad_clip_norm: Optional[float] = None
+    #: How ``clip_grad_norm`` treats a NaN/Inf global norm inside the loop.
+    #: "zero" (default) skips the poisoned update instead of aborting the
+    #: run — the stability guard, when attached, is what decides whether
+    #: the run needs stronger recovery.
+    grad_clip_nonfinite: str = "zero"
+    #: Run every strategy execution under ``repro.autograd.detect_anomaly``
+    #: so the first non-finite forward value or gradient raises a
+    #: NumericalAnomalyError naming the offending op (handled by the
+    #: stability guard when one is attached, re-raised otherwise).
+    detect_anomaly: bool = False
     log_every_n_steps: int = 10
     val_max_batches: Optional[int] = None
 
@@ -81,14 +103,19 @@ class Trainer:
         callbacks: Optional[Sequence[Callback]] = None,
         collate_fn: Callable = collate_graphs,
         recovery: Optional[RecoveryConfig] = None,
+        stability=None,
     ):
         self.config = config
         self.strategy = strategy if strategy is not None else SingleProcessStrategy(collate_fn)
         self.callbacks: List[Callback] = list(callbacks or [])
         self.collate_fn = collate_fn
         self.recovery = recovery
+        #: Optional :class:`~repro.stability.StabilityGuard`; duck-typed so
+        #: the training layer does not import the stability package.
+        self.stability = stability
         self.history = History()
         self.global_step = 0
+        self.current_epoch = 0
         self.should_stop = False
         self.optimizer: Optional[Optimizer] = None
         self.scheduler: Optional[LRScheduler] = None
@@ -162,7 +189,11 @@ class Trainer:
         """One guarded strategy execution with restore-retry on StepFailure."""
         while True:
             try:
-                loss, metrics = self.strategy.execute(task, samples)
+                if self.config.detect_anomaly:
+                    with detect_anomaly():
+                        loss, metrics = self.strategy.execute(task, samples)
+                else:
+                    loss, metrics = self.strategy.execute(task, samples)
             except StepFailure:
                 if self.recovery is None:
                     raise
@@ -203,6 +234,7 @@ class Trainer:
             self._save_recovery_point(task, epoch=0)
 
         for epoch in range(self.config.max_epochs):
+            self.current_epoch = epoch
             sampler = getattr(train_loader, "sampler", None)
             if hasattr(sampler, "set_epoch"):
                 sampler.set_epoch(epoch)
@@ -211,10 +243,35 @@ class Trainer:
                 self.last_batch_size = len(samples)
                 optimizer.zero_grad()
                 had_failure = self.recoveries
-                loss, metrics = self._execute_step(task, samples, optimizer)
-                if self.config.grad_clip_norm is not None:
-                    clip_grad_norm(task.parameters(), self.config.grad_clip_norm)
-                optimizer.step()
+                intervened = False
+                try:
+                    loss, metrics = self._execute_step(task, samples, optimizer)
+                except NumericalAnomalyError as anomaly:
+                    if self.stability is None:
+                        raise
+                    # The tape pinpointed the op; recovery goes through the
+                    # guard so the event log names it.
+                    self.stability.on_anomaly(self, task, anomaly)
+                    intervened = True
+                    loss, metrics = float("nan"), {}
+                if self.stability is not None and not intervened:
+                    # The guard sees every completed step and decides
+                    # whether optimizer.step may run.  Recovery policies
+                    # mutate the trainer (LR, checkpoint restore) in here.
+                    intervened = self.stability.guard_step(self, task, loss)
+                if intervened:
+                    # The step is quarantined: drop its gradients and let
+                    # the recovery policy's changes stand.  It still counts
+                    # toward loop progress so max_steps bounds a sick run.
+                    optimizer.zero_grad()
+                else:
+                    if self.config.grad_clip_norm is not None:
+                        clip_grad_norm(
+                            task.parameters(),
+                            self.config.grad_clip_norm,
+                            nonfinite=self.config.grad_clip_nonfinite,
+                        )
+                    optimizer.step()
                 self.global_step += 1
                 if self.recoveries > had_failure:
                     # The retried step completed: the run has recovered.
@@ -222,11 +279,15 @@ class Trainer:
 
                 if (
                     self.recovery is not None
+                    and not intervened
                     and self.global_step % self.recovery.checkpoint_every_n_steps == 0
                 ):
                     self._save_recovery_point(task, epoch)
 
-                if self.global_step % self.config.log_every_n_steps == 0:
+                if (
+                    not intervened
+                    and self.global_step % self.config.log_every_n_steps == 0
+                ):
                     self.history.log(
                         self.global_step, epoch, "train", loss=loss, **metrics
                     )

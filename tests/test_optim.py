@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.module import Parameter
-from repro.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.optim import SGD, Adam, AdamW, NonFiniteGradientError, clip_grad_norm
 
 
 def make_param(values):
@@ -96,6 +96,72 @@ class TestAdam:
         opt.step()
         assert opt.update_statistics()["eps_floor_fraction"] == 1.0
 
+    def test_eps_floor_fraction_counts_entries_below_eps_squared(self):
+        # Drive exactly 3 of 10 second moments below eps^2: after one step
+        # v = (1 - beta2) * g^2, so g below eps * sqrt(1/(1-beta2)) * ~1
+        # lands under the floor while g = 1 stays far above it.
+        eps = 1e-4
+        p = make_param(np.zeros(10))
+        opt = Adam([p], lr=1e-3, eps=eps)
+        g = np.ones(10)
+        g[:3] = eps / 100.0  # v = 1e-3 * (eps/100)^2 << eps^2
+        p.grad = g
+        opt.step()
+        assert np.isclose(opt.update_statistics()["eps_floor_fraction"], 0.3)
+
+    def test_eps_floor_fraction_rises_as_gradients_decay(self):
+        # The Molybog precondition: gradients decaying toward eps push the
+        # floor fraction monotonically toward 1.  (beta2 = 0.5 so v tracks
+        # the decay within the test's step budget.)
+        p = make_param(np.zeros(16))
+        opt = Adam([p], lr=1e-3, betas=(0.9, 0.5), eps=1e-3)
+        fractions = []
+        for t in range(60):
+            p.grad = np.full(16, 10.0 * 0.5**t)
+            opt.step()
+            fractions.append(opt.update_statistics()["eps_floor_fraction"])
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_amsgrad_uses_max_second_moment(self):
+        # After a large then tiny gradients, AMSGrad keeps dividing by the
+        # large moment's maximum while Adam's v decays away (beta2 = 0.1
+        # makes the decay visible in a few steps), so AMSGrad moves less.
+        def run(amsgrad):
+            p = make_param([0.0])
+            opt = Adam([p], lr=0.1, betas=(0.9, 0.1), amsgrad=amsgrad)
+            p.grad = np.array([10.0])
+            opt.step()
+            before = p.data.copy()
+            for _ in range(5):
+                p.grad = np.array([1e-6])
+                opt.step()
+            return abs(float(p.data[0] - before[0]))
+
+        assert run(amsgrad=True) < run(amsgrad=False) / 2
+
+    def test_update_clip_bounds_update_rms(self):
+        p = make_param(np.zeros(4))
+        # First Adam step has |update| = 1 per entry (bias-corrected), so
+        # RMS = 1; a 0.25 clip must shrink the realized step 4x.
+        clipped = Adam([p], lr=0.1, update_clip=0.25)
+        p.grad = np.ones(4)
+        clipped.step()
+        assert np.allclose(p.data, -0.1 * 0.25 * np.ones(4), atol=1e-6)
+
+    def test_update_clip_inactive_below_threshold(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        plain, clipped = Adam([p1], lr=0.1), Adam([p2], lr=0.1, update_clip=10.0)
+        for opt, p in ((plain, p1), (clipped, p2)):
+            p.grad = np.array([3.0])
+            opt.step()
+        assert np.allclose(p1.data, p2.data, atol=1e-15)
+
+    def test_update_clip_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([1.0])], update_clip=0.0)
+
 
 class TestAdamW:
     def test_decay_is_decoupled(self):
@@ -138,6 +204,34 @@ class TestAdamW:
         with pytest.raises(ValueError):
             AdamW([make_param([1.0])], lr=0.0)
 
+    def test_coupled_and_decoupled_decay_diverge(self, rng):
+        # Same gradients, same decay constant: Adam folds the decay into
+        # the gradient (so the preconditioner rescales it), AdamW applies
+        # it to the parameters directly.  The trajectories must differ —
+        # this is the Loshchilov & Hutter distinction, and it is what the
+        # eps-floor diagnostics key on.
+        start = rng.normal(size=(6,)) + 2.0
+        grads = [rng.normal(size=(6,)) for _ in range(8)]
+        p_c, p_d = make_param(start.copy()), make_param(start.copy())
+        coupled = Adam([p_c], lr=1e-2, weight_decay=0.1)
+        decoupled = AdamW([p_d], lr=1e-2, weight_decay=0.1)
+        for g in grads:
+            p_c.grad = g.copy()
+            p_d.grad = g.copy()
+            coupled.step()
+            decoupled.step()
+        assert not np.allclose(p_c.data, p_d.data, atol=1e-6)
+        # With zero decay the two are the same algorithm.
+        p_c2, p_d2 = make_param(start.copy()), make_param(start.copy())
+        adam0 = Adam([p_c2], lr=1e-2, weight_decay=0.0)
+        adamw0 = AdamW([p_d2], lr=1e-2, weight_decay=0.0)
+        for g in grads:
+            p_c2.grad = g.copy()
+            p_d2.grad = g.copy()
+            adam0.step()
+            adamw0.step()
+        assert np.allclose(p_c2.data, p_d2.data, atol=1e-15)
+
 
 class TestClipGradNorm:
     def test_noop_below_threshold(self):
@@ -161,6 +255,32 @@ class TestClipGradNorm:
         p1.grad = np.array([2.0])
         norm = clip_grad_norm([p1, p2], max_norm=1.0)
         assert np.isclose(norm, 2.0)
+
+    def test_nonfinite_norm_raises_by_default(self):
+        p = make_param([0.0])
+        p.grad = np.array([np.nan])
+        with pytest.raises(NonFiniteGradientError):
+            clip_grad_norm([p], max_norm=1.0)
+        # The historical bug: the NaN gradient must not survive untouched
+        # as if the norm were in bounds.
+        p.grad = np.array([np.inf])
+        with pytest.raises(NonFiniteGradientError):
+            clip_grad_norm([p], max_norm=1.0)
+
+    def test_nonfinite_zero_mode_zeroes_all_grads(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        p1.grad = np.array([np.nan])
+        p2.grad = np.array([5.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0, nonfinite="zero")
+        assert not np.isfinite(norm)  # pre-clip norm reported faithfully
+        assert np.allclose(p1.grad, [0.0])
+        assert np.allclose(p2.grad, [0.0])
+
+    def test_nonfinite_kwarg_validated(self):
+        p = make_param([0.0])
+        p.grad = np.array([1.0])
+        with pytest.raises(ValueError):
+            clip_grad_norm([p], max_norm=1.0, nonfinite="ignore")
 
 
 class TestGradGlobalNorm:
