@@ -28,7 +28,12 @@ BATCH_PER_WORKER = 32  # the paper's per-rank batch
 
 
 def measure_single_worker_rate():
-    """Live samples/s of one training worker on the symmetry task."""
+    """Live samples/s of one training worker on the symmetry task.
+
+    The run is traced (span layer only — no per-op profiling, which would
+    distort the measured rate) so the bench can report where a single
+    worker's wall time actually goes before the model projects scale-out.
+    """
     cfg = PretrainConfig(
         encoder=encoder_config(),
         optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=2),
@@ -40,14 +45,15 @@ def measure_single_worker_rate():
         head_hidden_dim=32,
         head_blocks=2,
         seed=2,
+        trace_out="/dev/null",  # spans on, per-op profiling off
     )
     result = pretrain_symmetry(cfg)
     params = result.task.num_parameters()
-    return result.throughput.samples_per_second, params
+    return result.throughput.samples_per_second, params, result.observer
 
 
 def run_fig2():
-    rate, params = measure_single_worker_rate()
+    rate, params, observer = measure_single_worker_rate()
     gradient_bytes = params * 8  # float64 gradients
     model = ThroughputModel(
         per_worker_samples_per_s=rate,
@@ -72,12 +78,16 @@ def run_fig2():
     r2 = linear_fit_r2(WORLD_SIZES, rates)
     print(f"\nlinear fit R^2 = {r2:.6f} (paper overlays a linear fit)")
     print("paper shape: linear scaling 16 -> 512 ranks, minutes-scale epochs")
-    return rows, r2, model
+    print("\nsingle-worker step-phase breakdown (measured run):")
+    print(observer.phase_table())
+    return rows, r2, model, observer
 
 
 class TestFig2Scaling:
     def test_fig2_throughput_scaling(self, benchmark):
-        rows, r2, model = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+        rows, r2, model, observer = benchmark.pedantic(
+            run_fig2, rounds=1, iterations=1
+        )
 
         # Linear growth, as in the paper's fit.
         assert r2 > 0.99
@@ -90,3 +100,6 @@ class TestFig2Scaling:
         # minutes at scale.
         assert rows[-1]["epoch_minutes"] < 60.0
         assert rows[-1]["epoch_minutes"] < rows[0]["epoch_minutes"] / 16
+        # The measured run is traced: the canonical phases must explain
+        # nearly all of the single worker's wall time.
+        assert observer.tracer.phase_coverage() >= 0.90

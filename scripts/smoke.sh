@@ -1,6 +1,43 @@
 #!/usr/bin/env bash
-# Fast test lane: everything except the slow fault-injection and
-# stability-guard scenario suites (run those with -m fault / -m stability).
+# Fast test lane plus an observability smoke check.
+#
+# Lanes:
+#   default            everything except slow scenario suites
+#   SMOKE_LANE=profile only the observability suite (-m profile)
+#   SMOKE_LANE=full    the whole suite, markers included
+#
+# Scenario suites run on demand: -m fault / -m stability / -m profile.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-PYTHONPATH=src python -m pytest -x -q -m "not fault and not stability" "$@"
+
+LANE="${SMOKE_LANE:-default}"
+case "$LANE" in
+default)
+    PYTHONPATH=src python -m pytest -x -q \
+        -m "not fault and not stability and not slow" "$@"
+    ;;
+profile)
+    PYTHONPATH=src python -m pytest -x -q -m profile "$@"
+    ;;
+full)
+    PYTHONPATH=src python -m pytest -x -q "$@"
+    ;;
+*)
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|full)" >&2
+    exit 2
+    ;;
+esac
+
+# Profiler smoke: the CLI must produce a loadable Chrome trace and a phase
+# table end to end, not just pass unit tests.
+TRACE="$(mktemp /tmp/smoke-trace.XXXXXX.json)"
+trap 'rm -f "$TRACE"' EXIT
+PYTHONPATH=src python -m repro.cli pretrain \
+    --steps 3 --samples 16 --world-size 2 --hidden-dim 16 --layers 2 \
+    --epochs 1 --profile --trace-out "$TRACE" >/dev/null
+python -c "
+import json, sys
+events = json.load(open('$TRACE'))['traceEvents']
+assert any(e.get('ph') == 'X' for e in events), 'no span events in trace'
+print(f'profiler smoke ok: {sum(e.get(\"ph\") == \"X\" for e in events)} spans')
+"

@@ -24,7 +24,9 @@ def numerical_gradient(
     inputs = [np.asarray(x, dtype=np.float64) for x in inputs]
     base = inputs[wrt]
     grad = np.zeros_like(base)
-    it = np.nditer(base, flags=["multi_index"])
+    # zerosize_ok: empty inputs (e.g. an empty batch) have an empty — not
+    # undefined — gradient, and the loop below correctly runs zero times.
+    it = np.nditer(base, flags=["multi_index", "zerosize_ok"])
     while not it.finished:
         idx = it.multi_index
         orig = base[idx]

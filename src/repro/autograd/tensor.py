@@ -29,6 +29,11 @@ _GRAD_ENABLED = True
 #: and scan forward values / backward gradients for NaN/Inf.
 _ANOMALY_DEPTH = 0
 
+#: Active per-op profiler (see repro.observability.opprofile).  When set,
+#: ``_make`` reports each created tensor (op tag + allocation bytes) and
+#: ``backward`` times every hop, attributing it to the creating op.
+_PROFILER = None
+
 
 def is_grad_enabled() -> bool:
     """Return whether gradient recording is currently active."""
@@ -84,7 +89,18 @@ class Tensor:
         and ``backward()`` will populate ``.grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_op",
+        # Weak referencability is what lets the op profiler track live
+        # tensor bytes without keeping tensors alive.
+        "__weakref__",
+    )
 
     __array_priority__ = 100.0  # make numpy defer to our reflected operators
 
@@ -163,6 +179,8 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+        if _PROFILER is not None:
+            _PROFILER.on_tensor_created(out, backward)
         if _ANOMALY_DEPTH:
             from repro.autograd.anomaly import NumericalAnomalyError, op_name_of
 
@@ -226,10 +244,18 @@ class Tensor:
             raise NumericalAnomalyError(
                 op=self._op or "leaf", shape=self.data.shape, phase="backward", hop="seed"
             )
+        profiler = _PROFILER
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 parents = node._parents
-                node._backward(node.grad)
+                if profiler is not None:
+                    hop_start = profiler._now()
+                    node._backward(node.grad)
+                    profiler.record_backward(
+                        node._op, profiler._now() - hop_start
+                    )
+                else:
+                    node._backward(node.grad)
                 if _ANOMALY_DEPTH:
                     from repro.autograd.anomaly import NumericalAnomalyError
 

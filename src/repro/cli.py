@@ -73,6 +73,9 @@ def cmd_pretrain(args) -> int:
         stability_guard=args.stability_guard,
         on_spike=args.on_spike,
         detect_anomaly=args.detect_anomaly,
+        max_steps=args.steps,
+        profile=args.profile,
+        trace_out=args.trace_out,
     )
     print(
         f"pretraining: N={cfg.world_size}, B_eff={cfg.effective_batch}, "
@@ -100,6 +103,13 @@ def cmd_pretrain(args) -> int:
         print(f"stability: spikes={g['spikes']}, anomalies={g['anomalies']}, "
               f"interventions={g['interventions']} ({g['policy']}), "
               f"lr_deficit={g['lr_deficit']:.3g}")
+    if result.observer is not None:
+        if cfg.profile:
+            print()
+            print(result.observer.report())
+        if cfg.trace_out is not None:
+            print(f"chrome trace written to {cfg.trace_out} "
+                  f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -235,6 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detect-anomaly", action="store_true",
                    help="trace non-finite values to their creating autograd "
                         "op (slower; implies precise anomaly events)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="hard step budget (overrides --epochs for quick runs)")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the observability layer: phase spans, per-op "
+                        "autograd profiling, metrics; prints the report")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a chrome://tracing JSON of the run's spans")
     p.set_defaults(fn=cmd_pretrain)
 
     p = sub.add_parser("finetune", help="single-task fine-tuning (Fig. 5)")

@@ -101,6 +101,11 @@ class PretrainConfig:
     #: Full guard threshold overrides; built from ``on_spike`` when None.
     #: (Typed loosely to keep this module import-light.)
     stability: Optional[object] = None
+    #: Attach the observability layer (trace spans + metrics registry) and,
+    #: additionally, the per-op autograd profiler.  ``profile`` implies
+    #: spans; ``trace_out`` writes the Chrome-trace JSON after the run.
+    profile: bool = False
+    trace_out: Optional[str] = None
 
     @property
     def effective_batch(self) -> int:

@@ -56,6 +56,7 @@ from repro.analysis import (
     neighbor_overlap_matrix,
     silhouette_by_label,
 )
+from repro.observability import Observer
 from repro.optim import AdamW, MultiGroupOptimizer, WarmupExponential, scale_lr_for_ddp
 from repro.stability import StabilityConfig, StabilityGuard
 from repro.tasks import (
@@ -121,6 +122,9 @@ class PretrainResult:
     events: Optional[EventLog] = None
     #: Numerical stability guard; None unless ``config.stability_guard``.
     guard: Optional[StabilityGuard] = None
+    #: Observability handle (tracer / metrics / op profiler); None unless
+    #: ``config.profile`` or ``config.trace_out``.
+    observer: Optional[Observer] = None
 
     @property
     def final_val_ce(self) -> Optional[float]:
@@ -255,6 +259,10 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
     callbacks = [spikes, throughput, lr_monitor]
     if events is not None:
         callbacks.append(FaultEventMonitor(events))
+    observer: Optional[Observer] = None
+    if config.profile or config.trace_out is not None:
+        observer = Observer(profile_ops=config.profile)
+        callbacks.append(observer.reporter(every_n_steps=25))
     trainer = Trainer(
         TrainerConfig(
             max_epochs=config.max_epochs,
@@ -268,8 +276,16 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         callbacks=callbacks,
         recovery=recovery,
         stability=guard,
+        observer=observer,
     )
-    history = trainer.fit(task, train_loader, val_loader, optimizer, scheduler)
+    if observer is not None:
+        with observer.profile():
+            history = trainer.fit(task, train_loader, val_loader, optimizer, scheduler)
+        observer.finalize(strategy=strategy, guard=guard)
+        if config.trace_out is not None:
+            observer.export_chrome_trace(config.trace_out)
+    else:
+        history = trainer.fit(task, train_loader, val_loader, optimizer, scheduler)
     return PretrainResult(
         task=task,
         history=history,
@@ -279,6 +295,7 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         config=config,
         events=events,
         guard=guard,
+        observer=observer,
     )
 
 

@@ -100,6 +100,11 @@ class SimComm:
         self.injector = injector
         self.retry = retry if retry is not None else RetryPolicy()
         self._allreduce_index = 0
+        #: Optional :class:`~repro.observability.Tracer` (duck-typed; set by
+        #: the trainer when an Observer is attached).  Each ``allreduce``
+        #: call — one gradient bucket — then becomes a ``comm.allreduce``
+        #: span covering the full retry loop, with byte/retry attributes.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -184,7 +189,16 @@ class SimComm:
         if op not in ("sum", "mean", "max", "min"):
             raise ValueError(f"unsupported op {op!r}")
         payload = self._nbytes(arrays[0])
+        if self.tracer is None:
+            return self._allreduce(arrays, op, payload)
+        with self.tracer.span(
+            "comm.allreduce", bytes=payload, ranks=self.world_size, op=op
+        ):
+            return self._allreduce(arrays, op, payload)
 
+    def _allreduce(
+        self, arrays: List[np.ndarray], op: str, payload: int
+    ) -> List[np.ndarray]:
         if self.injector is None:
             result = self._reduce(arrays, op)
             self._meter_allreduce(payload)
@@ -220,6 +234,8 @@ class SimComm:
                 )
             # The failed attempt moved (wasted) bytes; account for them.
             self._meter_allreduce(payload, wasted=True)
+            if self.tracer is not None:
+                self.tracer.incr("retries")
             wait = self.retry.backoff(attempt)
             self.injector.clock.advance(wait)
             self.events.record(BACKOFF, call=call_index, seconds=wait)

@@ -24,6 +24,7 @@ faults actually hit it).  A rank crash is handled in one of two ways:
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +38,14 @@ from repro.distributed.faults import (
     StepFailure,
 )
 
+#: Shared no-op context used when no tracer is attached (kept local so the
+#: distributed layer does not depend on repro.observability).
+_NULL_SPAN = contextlib.nullcontext()
+
+
+def _span(tracer, name: str, **attrs):
+    return tracer.span(name, **attrs) if tracer is not None else _NULL_SPAN
+
 
 class Strategy:
     """Turns a list of samples into one optimizer-ready gradient.
@@ -46,6 +55,10 @@ class Strategy:
     """
 
     world_size: int = 1
+    #: Optional :class:`~repro.observability.Tracer` (duck-typed).  When the
+    #: trainer carries an Observer it hands the tracer down here so strategy
+    #: executions emit forward/backward/comm phase spans.
+    tracer = None
     #: Per-rank shard losses from the most recent ``execute`` call.  The
     #: stability guard evaluates its spike detectors rank-by-rank on these
     #: (each real DDP rank only sees its own shard loss) before agreeing on
@@ -75,9 +88,12 @@ class SingleProcessStrategy(Strategy):
         self.world_size = 1
 
     def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
-        batch = self.collate_fn(list(samples))
-        loss, metrics = task.training_step(batch)
-        loss.backward()
+        with _span(self.tracer, "data", source="collate"):
+            batch = self.collate_fn(list(samples))
+        with _span(self.tracer, "forward"):
+            loss, metrics = task.training_step(batch)
+        with _span(self.tracer, "backward"):
+            loss.backward()
         value = float(loss.data)
         self.last_rank_losses = [value]
         return value, metrics
@@ -201,11 +217,14 @@ class DDPStrategy(Strategy):
             per_rank_grads: List[List[np.ndarray]] = []
             losses = []
             metrics: dict = {}
-            for shard in shards:
+            for rank, shard in enumerate(shards):
                 task.zero_grad()
-                batch = self.collate_fn(shard)
-                loss, m = task.training_step(batch)
-                loss.backward()
+                with _span(self.tracer, "data", source="collate", rank=rank):
+                    batch = self.collate_fn(shard)
+                with _span(self.tracer, "forward", rank=rank):
+                    loss, m = task.training_step(batch)
+                with _span(self.tracer, "backward", rank=rank):
+                    loss.backward()
                 per_rank_grads.append(
                     [
                         p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
@@ -226,22 +245,32 @@ class DDPStrategy(Strategy):
         # divide once, meter the allreduce the real job would perform.
         losses = []
         metrics = {}
-        for shard in shards:
-            batch = self.collate_fn(shard)
-            loss, m = task.training_step(batch)
-            loss.backward()
+        for rank, shard in enumerate(shards):
+            with _span(self.tracer, "data", source="collate", rank=rank):
+                batch = self.collate_fn(shard)
+            with _span(self.tracer, "forward", rank=rank):
+                loss, m = task.training_step(batch)
+            with _span(self.tracer, "backward", rank=rank):
+                loss.backward()
             losses.append(float(loss.data))
             metrics = m
-        inv = 1.0 / self.world_size
-        payload = 0
-        for p in params:
-            if p.grad is not None:
-                p.grad *= inv
-                payload += p.grad.nbytes
-        self.comm.traffic.allreduce_calls += 1
-        if self.world_size > 1:
-            self.comm.traffic.allreduce_bytes += int(
-                2 * (self.world_size - 1) / self.world_size * payload * self.world_size
-            )
+        with _span(self.tracer, "comm.allreduce", ranks=self.world_size):
+            inv = 1.0 / self.world_size
+            payload = 0
+            for p in params:
+                if p.grad is not None:
+                    p.grad *= inv
+                    payload += p.grad.nbytes
+            self.comm.traffic.allreduce_calls += 1
+            if self.world_size > 1:
+                self.comm.traffic.allreduce_bytes += int(
+                    2
+                    * (self.world_size - 1)
+                    / self.world_size
+                    * payload
+                    * self.world_size
+                )
+            if self.tracer is not None:
+                self.tracer.set_attr("bytes", payload)
         self.last_rank_losses = list(losses)
         return float(np.mean(losses)), metrics

@@ -1,0 +1,211 @@
+"""``Observer``: one handle bundling tracer, op profiler, and metrics.
+
+The trainer, strategies, and communicator are instrumented against this
+object (duck-typed — they only call :meth:`span`), so a single
+constructor argument turns a run from dark to fully observed:
+
+* spans land in :attr:`tracer` (phase breakdown + Chrome trace),
+* op-level timing in :attr:`op_profiler` (attached via ``profile()``),
+* run counters in :attr:`metrics`, fed live by the
+  :class:`MetricsReporter` callback and finalized from the communicator
+  traffic log / stability guard after training.
+
+``MetricsReporter`` is a standard trainer callback: every step it updates
+``train.samples`` / ``train.steps`` / the ``train.step_seconds``
+histogram and mirrors communicator traffic into ``comm.*`` counters;
+every ``every_n_steps`` it emits a one-line progress report (kept on
+``.lines``; printed when a stream is given) with samples/sec, allreduce
+volume, retry and intervention counts — the periodic reporter the
+scale-out benches read instead of guessing at throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.opprofile import OpProfiler
+from repro.observability.tracer import NULL_SPAN, STEP_PHASES, Tracer
+from repro.training.callbacks import Callback
+
+
+class Observer:
+    """Aggregates the three observability surfaces for one run."""
+
+    def __init__(
+        self,
+        clock=None,
+        profile_ops: bool = False,
+        profile_memory: bool = True,
+    ):
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+        self.op_profiler: Optional[OpProfiler] = (
+            OpProfiler(clock=clock, profile_memory=profile_memory)
+            if profile_ops
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def profile(self):
+        """Context manager activating the per-op profiler (no-op if absent)."""
+        return self.op_profiler if self.op_profiler is not None else NULL_SPAN
+
+    def reporter(self, every_n_steps: int = 25, stream=None) -> "MetricsReporter":
+        return MetricsReporter(self, every_n_steps=every_n_steps, stream=stream)
+
+    # ------------------------------------------------------------------ #
+    def finalize(self, strategy=None, guard=None) -> None:
+        """Fold end-of-run state into the registry.
+
+        Reads the communicator's traffic log (authoritative byte counts),
+        the stability guard's summary, and the op profiler's memory
+        high-water mark.  Safe to call multiple times (counters are set
+        via gauges or delta-corrected).
+        """
+        comm = getattr(strategy, "comm", None) if strategy is not None else None
+        if comm is not None:
+            t = comm.traffic
+            for key, value in (
+                ("comm.allreduce.calls", t.allreduce_calls),
+                ("comm.allreduce.bytes", t.allreduce_bytes),
+                ("comm.retry.calls", t.retry_calls),
+                ("comm.retry.bytes", t.retry_bytes),
+            ):
+                # Same counters the MetricsReporter feeds live; top up by
+                # delta so finalize stays idempotent either way.
+                counter = self.metrics.counter(key)
+                if value > counter.value:
+                    counter.inc(value - counter.value)
+        if guard is not None:
+            summary = guard.summary()
+            self.metrics.gauge("stability.interventions").set(summary["interventions"])
+            self.metrics.gauge("stability.spikes").set(summary["spikes"])
+            self.metrics.gauge("stability.anomalies").set(summary["anomalies"])
+        if self.op_profiler is not None:
+            self.metrics.gauge("mem.peak_live_tensor_bytes").set(
+                self.op_profiler.peak_live_bytes
+            )
+
+    # ------------------------------------------------------------------ #
+    # Report rendering
+    # ------------------------------------------------------------------ #
+    def phase_table(self) -> str:
+        return self.tracer.format_phase_table()
+
+    def aggregate_table(self) -> str:
+        return self.tracer.format_table()
+
+    def op_table(self, top: Optional[int] = 12) -> str:
+        if self.op_profiler is None:
+            return "(op profiler not attached)"
+        return self.op_profiler.format_table(top=top)
+
+    def metrics_table(self) -> str:
+        return self.metrics.format_table()
+
+    def export_chrome_trace(self, path: str) -> str:
+        return self.tracer.export_chrome_trace(path)
+
+    def report(self, top_ops: int = 12) -> str:
+        """The full post-run report the CLI prints under ``--profile``."""
+        sections = [
+            "== step-phase breakdown ==",
+            self.phase_table(),
+            "",
+            "== span aggregate ==",
+            self.aggregate_table(),
+        ]
+        if self.op_profiler is not None:
+            sections += ["", "== per-op autograd profile ==", self.op_table(top_ops)]
+        sections += ["", "== metrics ==", self.metrics_table()]
+        return "\n".join(sections)
+
+
+class MetricsReporter(Callback):
+    """Trainer callback feeding the metrics registry and reporting periodically."""
+
+    def __init__(self, observer: Observer, every_n_steps: int = 25, stream=None):
+        self.observer = observer
+        self.every = max(int(every_n_steps), 1)
+        self.stream = stream
+        self.lines: List[str] = []
+        self._clock = observer.tracer._now
+        self._start: Optional[float] = None
+        self._last_report_t: Optional[float] = None
+        self._last_report_samples = 0.0
+        self._traffic_seen: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def _sync_traffic(self, trainer) -> None:
+        comm = getattr(trainer.strategy, "comm", None)
+        if comm is None:
+            return
+        metrics = self.observer.metrics
+        t = comm.traffic
+        for key, value in (
+            ("comm.allreduce.calls", t.allreduce_calls),
+            ("comm.allreduce.bytes", t.allreduce_bytes),
+            ("comm.retry.calls", t.retry_calls),
+            ("comm.retry.bytes", t.retry_bytes),
+        ):
+            prev = self._traffic_seen.get(key, 0.0)
+            if value > prev:
+                metrics.counter(key).inc(value - prev)
+                self._traffic_seen[key] = float(value)
+
+    # ------------------------------------------------------------------ #
+    def on_train_start(self, trainer, task) -> None:
+        now = self._clock()
+        self._start = now
+        self._last_report_t = now
+
+    def on_step_end(self, trainer, task, step: int, loss: float, metrics: Dict) -> None:
+        registry = self.observer.metrics
+        registry.counter("train.steps").inc()
+        registry.counter("train.samples").inc(trainer.last_batch_size)
+        last_step = self.observer.tracer.last("step")
+        if last_step is not None:
+            registry.histogram("train.step_seconds").observe(last_step.duration)
+        self._sync_traffic(trainer)
+        guard = getattr(trainer, "stability", None)
+        if guard is not None:
+            registry.gauge("stability.interventions").set(guard.interventions)
+        if step % self.every == 0:
+            self._emit(trainer, step)
+
+    def on_train_end(self, trainer, task) -> None:
+        self._sync_traffic(trainer)
+        registry = self.observer.metrics
+        if self._start is not None:
+            elapsed = max(self._clock() - self._start, 1e-9)
+            registry.gauge("train.samples_per_sec").set(
+                registry.value("train.samples") / elapsed
+            )
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, trainer, step: int) -> None:
+        registry = self.observer.metrics
+        now = self._clock()
+        samples = registry.value("train.samples")
+        window = max(now - (self._last_report_t if self._last_report_t else now), 1e-9)
+        rate = (samples - self._last_report_samples) / window
+        self._last_report_t = now
+        self._last_report_samples = samples
+        hist = registry.histogram("train.step_seconds")
+        line = (
+            f"[obs] step {step}: {rate:.1f} samples/s, "
+            f"step p50 {hist.percentile(50) * 1e3:.1f} ms, "
+            f"allreduce {registry.value('comm.allreduce.bytes') / 1e6:.2f} MB, "
+            f"retries {registry.value('comm.retry.calls'):.0f}, "
+            f"interventions {registry.value('stability.interventions'):.0f}"
+        )
+        self.lines.append(line)
+        if self.stream is not None:
+            print(line, file=self.stream)
+
+
+__all__ = ["Observer", "MetricsReporter", "STEP_PHASES"]

@@ -1,0 +1,377 @@
+"""Hierarchical span tracer with Chrome-trace export.
+
+The tracer answers *where a training step spends its time*.  Code wraps
+regions in ``with tracer.span("forward"):`` context managers; spans nest
+(per thread), carry attributes and counters, and are stamped on an
+injectable clock — ``time.perf_counter`` for live runs, a
+:class:`~repro.distributed.events.SimClock` (or any ``now()``-bearing
+object / zero-arg callable) for deterministic tests.
+
+Two export surfaces:
+
+* :meth:`Tracer.aggregate` / :meth:`Tracer.format_table` — per-name call
+  counts with total and *self* time (total minus time spent in child
+  spans), the table the CLI prints after a ``--profile`` run;
+* :meth:`Tracer.chrome_trace` / :meth:`Tracer.export_chrome_trace` — the
+  ``chrome://tracing`` / Perfetto JSON format (complete ``"ph": "X"``
+  events, microsecond timestamps), so a run can be inspected visually.
+
+:meth:`Tracer.phase_breakdown` folds span names onto the canonical
+step-phase vocabulary (``data`` / ``forward`` / ``backward`` / ``comm`` /
+``optim``) the Fig. 2 throughput story is told in; dotted names map by
+their first segment, so ``comm.allreduce`` counts toward ``comm``.
+
+Instrumentation sites use :func:`maybe_span` so an un-traced run pays one
+``None`` check and nothing else.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: The canonical step phases, in pipeline order (Fig. 2 breakdown).
+STEP_PHASES = ("data", "forward", "backward", "comm", "optim")
+
+#: Shared no-op context for disabled instrumentation (stateless, reusable).
+NULL_SPAN = contextlib.nullcontext()
+
+
+def normalize_clock(clock) -> Callable[[], float]:
+    """Coerce a clock argument to a zero-arg callable returning seconds.
+
+    Accepts None (-> ``time.perf_counter``), a callable, or an object with
+    a ``now()`` method (e.g. the distributed layer's ``SimClock``).
+    """
+    if clock is None:
+        return time.perf_counter
+    if callable(clock):
+        return clock
+    now = getattr(clock, "now", None)
+    if callable(now):
+        return now
+    raise TypeError(f"clock must be callable or have .now(), got {clock!r}")
+
+
+def maybe_span(tracer: Optional["Tracer"], name: str, **attrs):
+    """``tracer.span(...)`` when a tracer is attached, else a no-op context."""
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+class Span:
+    """One completed (or still-open) timed region."""
+
+    __slots__ = ("name", "start", "end", "tid", "parent", "depth", "attrs", "index")
+
+    def __init__(self, name: str, start: float, tid: int, parent: Optional[int], depth: int, index: int):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.tid = tid
+        self.parent = parent  # index of parent span in tracer.spans, or None
+        self.depth = depth
+        self.attrs: Dict[str, object] = {}
+        self.index = index
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Bump a numeric counter attribute on this span."""
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, t={self.start:.6f}->"
+            f"{self.end if self.end is not None else '...'}, depth={self.depth})"
+        )
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self.tracer._open(self.name, self.attrs)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._close(self.span)
+
+
+class Tracer:
+    """Thread-safe hierarchical span recorder on an injectable clock."""
+
+    def __init__(self, clock=None):
+        self._now = normalize_clock(clock)
+        self.spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}  # thread ident -> dense tid
+        self.origin = self._now()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a named span: ``with tracer.span("forward", step=3): ...``"""
+        return _SpanContext(self, name, attrs)
+
+    def _open(self, name: str, attrs: Dict[str, object]) -> Span:
+        stack = self._stack()
+        parent = stack[-1].index if stack else None
+        span = Span(
+            name,
+            start=self._now(),
+            tid=self._tid(),
+            parent=parent,
+            depth=len(stack),
+            index=-1,
+        )
+        if attrs:
+            span.attrs.update(attrs)
+        with self._lock:
+            span.index = len(self.spans)
+            self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Optional[Span]) -> None:
+        if span is None:
+            return
+        stack = self._stack()
+        # Tolerate (but do not crash on) mismatched exits.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        span.end = self._now()
+
+    # ------------------------------------------------------------------ #
+    # Current-span attribute helpers
+    # ------------------------------------------------------------------ #
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute to the current span (no-op when none open)."""
+        span = self.current()
+        if span is not None:
+            span.attrs[key] = value
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Bump a counter on the current span (no-op when none open)."""
+        span = self.current()
+        if span is not None:
+            span.incr(key, amount)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def completed(self) -> List[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.end is not None]
+
+    def last(self, name: str) -> Optional[Span]:
+        """Most recently *completed* span with this name."""
+        with self._lock:
+            for span in reversed(self.spans):
+                if span.name == name and span.end is not None:
+                    return span
+        return None
+
+    def wall_time(self) -> float:
+        """Elapsed time from the first span start to the last span end."""
+        spans = self.completed()
+        if not spans:
+            return 0.0
+        return max(s.end for s in spans) - min(s.start for s in spans)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name stats: calls, total time, self time, min/max duration.
+
+        Self time is total minus the time spent in direct child spans, so
+        a parent that only coordinates children aggregates to ~0 self.
+        """
+        spans = self.completed()
+        child_time = [0.0] * len(self.spans)
+        for s in spans:
+            if s.parent is not None:
+                child_time[s.parent] += s.duration
+        table: Dict[str, Dict[str, float]] = {}
+        for s in spans:
+            row = table.setdefault(
+                s.name,
+                {"calls": 0, "total": 0.0, "self": 0.0, "min": float("inf"), "max": 0.0},
+            )
+            d = s.duration
+            row["calls"] += 1
+            row["total"] += d
+            row["self"] += d - child_time[s.index]
+            row["min"] = min(row["min"], d)
+            row["max"] = max(row["max"], d)
+        return table
+
+    def format_table(self, sort_by: str = "total") -> str:
+        """Render the aggregate table, widest consumers first."""
+        table = self.aggregate()
+        wall = self.wall_time()
+        lines = [
+            f"{'span':<24} {'calls':>7} {'total (s)':>11} {'self (s)':>11} {'% wall':>8}"
+        ]
+        for name, row in sorted(table.items(), key=lambda kv: -kv[1][sort_by]):
+            pct = 100.0 * row["total"] / wall if wall > 0 else 0.0
+            lines.append(
+                f"{name:<24} {row['calls']:>7d} {row['total']:>11.4f} "
+                f"{row['self']:>11.4f} {pct:>7.1f}%"
+            )
+        lines.append(f"{'wall time':<24} {'':>7} {wall:>11.4f}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Phase breakdown (the Fig. 2 per-step decomposition)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _phase_of(name: str, phases: Sequence[str]) -> Optional[str]:
+        head = name.split(".", 1)[0]
+        return head if head in phases else None
+
+    def phase_breakdown(
+        self, phases: Sequence[str] = STEP_PHASES
+    ) -> Dict[str, float]:
+        """Total seconds per canonical phase plus ``other`` and ``wall``.
+
+        A span counts toward its phase only when no ancestor already maps
+        to a phase, so nested same-phase instrumentation never double
+        counts.  ``other`` is wall time not covered by any phase.
+        """
+        spans = self.completed()
+        by_index: Dict[int, Span] = {s.index: s for s in self.spans}
+
+        def ancestor_in_phase(span: Span) -> bool:
+            parent = span.parent
+            while parent is not None:
+                p = by_index.get(parent)
+                if p is None:
+                    break
+                if self._phase_of(p.name, phases) is not None:
+                    return True
+                parent = p.parent
+            return False
+
+        totals = {phase: 0.0 for phase in phases}
+        for s in spans:
+            phase = self._phase_of(s.name, phases)
+            if phase is None or ancestor_in_phase(s):
+                continue
+            totals[phase] += s.duration
+        wall = self.wall_time()
+        totals["other"] = max(wall - sum(totals[p] for p in phases), 0.0)
+        totals["wall"] = wall
+        return totals
+
+    def phase_coverage(self, phases: Sequence[str] = STEP_PHASES) -> float:
+        """Fraction of wall time accounted for by the canonical phases."""
+        totals = self.phase_breakdown(phases)
+        if totals["wall"] <= 0:
+            return 0.0
+        return sum(totals[p] for p in phases) / totals["wall"]
+
+    def format_phase_table(self, phases: Sequence[str] = STEP_PHASES) -> str:
+        totals = self.phase_breakdown(phases)
+        wall = totals["wall"]
+        lines = [f"{'phase':<12} {'total (s)':>11} {'% wall':>8}"]
+        for phase in list(phases) + ["other"]:
+            pct = 100.0 * totals[phase] / wall if wall > 0 else 0.0
+            lines.append(f"{phase:<12} {totals[phase]:>11.4f} {pct:>7.1f}%")
+        lines.append(f"{'wall':<12} {wall:>11.4f} {100.0 if wall > 0 else 0.0:>7.1f}%")
+        coverage = 100.0 * self.phase_coverage(phases)
+        lines.append(f"phases cover {coverage:.1f}% of wall time")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Chrome trace export
+    # ------------------------------------------------------------------ #
+    def chrome_trace(self) -> Dict[str, object]:
+        """The ``chrome://tracing`` JSON object (complete "X" events, µs)."""
+        events: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        for s in self.completed():
+            event: Dict[str, object] = {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (s.start - self.origin) * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": 0,
+                "tid": s.tid,
+            }
+            if s.attrs:
+                event["args"] = {k: _jsonable(v) for k, v in s.attrs.items()}
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path: str) -> str:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh)
+        return path
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+        self._local = threading.local()
+        self.origin = self._now()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)

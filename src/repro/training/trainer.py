@@ -33,6 +33,7 @@ Intervened losses never enter the history's train series.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -48,6 +49,9 @@ from repro.tasks.base import Task, finalize_val_results, merge_val_results
 from repro.training.callbacks import Callback
 from repro.training.checkpoint_io import load_checkpoint, save_checkpoint
 from repro.training.history import History
+
+#: Shared no-op context for un-observed runs (stateless, reusable).
+_NULL_SPAN = contextlib.nullcontext()
 
 
 @dataclass
@@ -104,6 +108,7 @@ class Trainer:
         collate_fn: Callable = collate_graphs,
         recovery: Optional[RecoveryConfig] = None,
         stability=None,
+        observer=None,
     ):
         self.config = config
         self.strategy = strategy if strategy is not None else SingleProcessStrategy(collate_fn)
@@ -113,6 +118,16 @@ class Trainer:
         #: Optional :class:`~repro.stability.StabilityGuard`; duck-typed so
         #: the training layer does not import the stability package.
         self.stability = stability
+        #: Optional :class:`~repro.observability.Observer`; duck-typed (only
+        #: ``.span``/``.tracer`` are used).  When attached, the loop emits
+        #: fit > data/step(forward/backward/comm)/optim/val spans and hands
+        #: the tracer to the strategy and its communicator.
+        self.observer = observer
+        if observer is not None:
+            self.strategy.tracer = observer.tracer
+            comm = getattr(self.strategy, "comm", None)
+            if comm is not None:
+                comm.tracer = observer.tracer
         self.history = History()
         self.global_step = 0
         self.current_epoch = 0
@@ -126,6 +141,24 @@ class Trainer:
     def _emit(self, hook: str, *args) -> None:
         for cb in self.callbacks:
             getattr(cb, hook)(self, *args)
+
+    def _span(self, name: str, **attrs):
+        obs = self.observer
+        return obs.span(name, **attrs) if obs is not None else _NULL_SPAN
+
+    def _iter_observed(self, loader):
+        """Yield loader batches, timing each fetch as a ``data`` span."""
+        if self.observer is None:
+            yield from loader
+            return
+        it = iter(loader)
+        while True:
+            with self._span("data", source="loader"):
+                try:
+                    samples = next(it)
+                except StopIteration:
+                    return
+            yield samples
 
     # ------------------------------------------------------------------ #
     @property
@@ -150,13 +183,17 @@ class Trainer:
                 and i >= self.config.val_max_batches
             ):
                 break
-            batch = self.collate_fn(list(samples))
-            acc = merge_val_results(acc, task.validation_step(batch))
+            with self._span("data", source="val_collate"):
+                batch = self.collate_fn(list(samples))
+            with self._span("forward", mode="val"):
+                results = task.validation_step(batch)
+            acc = merge_val_results(acc, results)
         task.train()
         return finalize_val_results(acc)
 
     def _run_validation(self, task: Task, val_loader, epoch: int) -> Dict[str, float]:
-        metrics = self.validate(task, val_loader)
+        with self._span("val", step=self.global_step):
+            metrics = self.validate(task, val_loader)
         self.history.log(self.global_step, epoch, "val", **metrics)
         self._emit("on_validation_end", task, self.global_step, metrics)
         return metrics
@@ -222,6 +259,17 @@ class Trainer:
         optimizer: Optional[Optimizer] = None,
         scheduler: Optional[LRScheduler] = None,
     ) -> History:
+        with self._span("fit"):
+            return self._fit(task, train_loader, val_loader, optimizer, scheduler)
+
+    def _fit(
+        self,
+        task: Task,
+        train_loader,
+        val_loader,
+        optimizer: Optional[Optimizer],
+        scheduler: Optional[LRScheduler],
+    ) -> History:
         if optimizer is None:
             raise ValueError("Trainer.fit requires an optimizer")
         self.optimizer = optimizer
@@ -238,51 +286,55 @@ class Trainer:
             sampler = getattr(train_loader, "sampler", None)
             if hasattr(sampler, "set_epoch"):
                 sampler.set_epoch(epoch)
-            for samples in train_loader:
+            for samples in self._iter_observed(train_loader):
                 samples = list(samples)
                 self.last_batch_size = len(samples)
-                optimizer.zero_grad()
-                had_failure = self.recoveries
-                intervened = False
-                try:
-                    loss, metrics = self._execute_step(task, samples, optimizer)
-                except NumericalAnomalyError as anomaly:
-                    if self.stability is None:
-                        raise
-                    # The tape pinpointed the op; recovery goes through the
-                    # guard so the event log names it.
-                    self.stability.on_anomaly(self, task, anomaly)
-                    intervened = True
-                    loss, metrics = float("nan"), {}
-                if self.stability is not None and not intervened:
-                    # The guard sees every completed step and decides
-                    # whether optimizer.step may run.  Recovery policies
-                    # mutate the trainer (LR, checkpoint restore) in here.
-                    intervened = self.stability.guard_step(self, task, loss)
-                if intervened:
-                    # The step is quarantined: drop its gradients and let
-                    # the recovery policy's changes stand.  It still counts
-                    # toward loop progress so max_steps bounds a sick run.
+                with self._span("step", step=self.global_step):
                     optimizer.zero_grad()
-                else:
-                    if self.config.grad_clip_norm is not None:
-                        clip_grad_norm(
-                            task.parameters(),
-                            self.config.grad_clip_norm,
-                            nonfinite=self.config.grad_clip_nonfinite,
-                        )
-                    optimizer.step()
-                self.global_step += 1
-                if self.recoveries > had_failure:
-                    # The retried step completed: the run has recovered.
-                    self._record(RECOVER)
+                    had_failure = self.recoveries
+                    intervened = False
+                    try:
+                        loss, metrics = self._execute_step(task, samples, optimizer)
+                    except NumericalAnomalyError as anomaly:
+                        if self.stability is None:
+                            raise
+                        # The tape pinpointed the op; recovery goes through the
+                        # guard so the event log names it.
+                        self.stability.on_anomaly(self, task, anomaly)
+                        intervened = True
+                        loss, metrics = float("nan"), {}
+                    if self.stability is not None and not intervened:
+                        # The guard sees every completed step and decides
+                        # whether optimizer.step may run.  Recovery policies
+                        # mutate the trainer (LR, checkpoint restore) in here.
+                        intervened = self.stability.guard_step(self, task, loss)
+                    if intervened:
+                        # The step is quarantined: drop its gradients and let
+                        # the recovery policy's changes stand.  It still counts
+                        # toward loop progress so max_steps bounds a sick run.
+                        optimizer.zero_grad()
+                    else:
+                        with self._span("optim"):
+                            if self.config.grad_clip_norm is not None:
+                                clip_grad_norm(
+                                    task.parameters(),
+                                    self.config.grad_clip_norm,
+                                    nonfinite=self.config.grad_clip_nonfinite,
+                                )
+                            optimizer.step()
+                    self.global_step += 1
+                    if self.recoveries > had_failure:
+                        # The retried step completed: the run has recovered.
+                        self._record(RECOVER)
 
-                if (
-                    self.recovery is not None
-                    and not intervened
-                    and self.global_step % self.recovery.checkpoint_every_n_steps == 0
-                ):
-                    self._save_recovery_point(task, epoch)
+                    if (
+                        self.recovery is not None
+                        and not intervened
+                        and self.global_step % self.recovery.checkpoint_every_n_steps
+                        == 0
+                    ):
+                        with self._span("checkpoint"):
+                            self._save_recovery_point(task, epoch)
 
                 if (
                     not intervened

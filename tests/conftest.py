@@ -9,6 +9,25 @@ from repro.data.transforms import StructureToGraph
 from repro.datasets import SymmetryPointCloudDataset
 from repro.models import EGNN
 
+#: Custom markers, registered here as well as in pyproject.toml so the
+#: suite stays warning-free when run from a directory where pyproject's
+#: [tool.pytest.ini_options] is not picked up.
+MARKERS = [
+    "fault: fault-tolerant DDP scenarios (seeded injection, retry, recovery); "
+    "select with -m fault",
+    "stability: numerical stability guard scenarios (anomaly tracing, spike "
+    "recovery); select with -m stability",
+    "profile: observability-layer scenarios (spans, op profiler, metrics); "
+    "select with -m profile",
+    "slow: long-running regression tests; excluded from the smoke lane with "
+    "-m 'not slow'",
+]
+
+
+def pytest_configure(config):
+    for marker in MARKERS:
+        config.addinivalue_line("markers", marker)
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

@@ -1,0 +1,102 @@
+"""Golden-metrics regression: tiny fixed-seed end-to-end runs.
+
+Two miniature but complete workflows — symmetry pretraining and band-gap
+finetuning — are pinned to exact final metric values.  Everything in the
+stack feeds these numbers: dataset synthesis, graph construction,
+collation, the EGNN forward, every backward rule, DDP sharding and
+allreduce, optimizer math, and the LR schedule.  Any silent numerical
+change anywhere shows up here as a mismatch at 1e-9, long before it is
+visible in accuracy plots.
+
+The goldens were captured by running the exact configs below once and
+recording the results to full float64 precision.  If a change is *meant*
+to alter numerics (e.g. a different reduction order), re-capture and
+update the constants in the same commit, and say why in the message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EncoderConfig,
+    FinetuneConfig,
+    OptimizerConfig,
+    PretrainConfig,
+    pretrain_symmetry,
+    train_band_gap,
+)
+
+TOL = 1e-9
+
+# Captured from the configs below (numpy float64, single machine):
+GOLDEN_PRETRAIN_VAL_CE = 1.3071403023419523
+GOLDEN_PRETRAIN_VAL_ACC = 0.3125
+GOLDEN_PRETRAIN_TRAIN_LOSS = 1.3207445424273769
+GOLDEN_FINETUNE_FINAL_MAE = 1.2795972489148004
+GOLDEN_FINETUNE_BEST_MAE = 1.2795972489148004
+
+
+def _pretrain_config() -> PretrainConfig:
+    return PretrainConfig(
+        encoder=EncoderConfig(hidden_dim=16, num_layers=2, position_dim=4),
+        optimizer=OptimizerConfig(base_lr=2e-3, warmup_epochs=1, gamma=0.9),
+        group_names=["C1", "C2", "C4", "D2"],
+        train_samples=32,
+        val_samples=16,
+        world_size=2,
+        batch_per_worker=4,
+        max_epochs=3,
+        head_hidden_dim=16,
+        head_blocks=1,
+        seed=21,
+    )
+
+
+def _finetune_config() -> FinetuneConfig:
+    return FinetuneConfig(
+        encoder=EncoderConfig(hidden_dim=16, num_layers=2, position_dim=4),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=1, gamma=0.9),
+        train_samples=48,
+        val_samples=16,
+        batch_size=8,
+        max_epochs=3,
+        world_size=1,
+        head_hidden_dim=16,
+        head_blocks=1,
+        seed=13,
+    )
+
+
+class TestGoldenPretrain:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return pretrain_symmetry(_pretrain_config())
+
+    def test_final_val_cross_entropy(self, result):
+        ce = result.history.last("val", "ce")
+        assert ce == pytest.approx(GOLDEN_PRETRAIN_VAL_CE, abs=TOL)
+
+    def test_final_val_accuracy(self, result):
+        acc = result.history.last("val", "acc")
+        assert acc == pytest.approx(GOLDEN_PRETRAIN_VAL_ACC, abs=TOL)
+
+    def test_final_train_loss(self, result):
+        loss = result.history.last("train", "loss")
+        assert loss == pytest.approx(GOLDEN_PRETRAIN_TRAIN_LOSS, abs=TOL)
+
+
+class TestGoldenFinetune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return train_band_gap(_finetune_config())
+
+    def test_final_mae(self, result):
+        assert result.final_mae == pytest.approx(GOLDEN_FINETUNE_FINAL_MAE, abs=TOL)
+
+    def test_best_mae(self, result):
+        assert result.best_mae == pytest.approx(GOLDEN_FINETUNE_BEST_MAE, abs=TOL)
+
+    def test_best_no_worse_than_final(self, result):
+        # Internal consistency of the golden pair, independent of exact values.
+        assert result.best_mae <= result.final_mae + TOL
