@@ -14,9 +14,11 @@ from ideal scaling at 512 ranks, and minutes-scale epochs at the top end.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from benchmarks.common import encoder_config, print_header
+from benchmarks.common import bench_result, encoder_config, print_header, write_bench_json
 from repro.core import OptimizerConfig, PretrainConfig, pretrain_symmetry
 from repro.distributed import ENDEAVOUR, ThroughputModel
 from repro.distributed.perf_model import linear_fit_r2
@@ -52,7 +54,7 @@ def measure_single_worker_rate():
     return result.throughput.samples_per_second, params, result.observer
 
 
-def run_fig2():
+def run_fig2(out_json: Optional[str] = None):
     rate, params, observer = measure_single_worker_rate()
     gradient_bytes = params * 8  # float64 gradients
     model = ThroughputModel(
@@ -80,6 +82,20 @@ def run_fig2():
     print("paper shape: linear scaling 16 -> 512 ranks, minutes-scale epochs")
     print("\nsingle-worker step-phase breakdown (measured run):")
     print(observer.phase_table())
+    if out_json:
+        results = [
+            bench_result("fig2.single_worker_rate", "metric", rate, "samples/s"),
+            bench_result("fig2.linear_fit_r2", "metric", r2, "r2"),
+        ] + [
+            bench_result(
+                f"fig2.samples_per_s.w{r['workers']}",
+                "metric",
+                r["samples_per_s"],
+                "samples/s",
+            )
+            for r in rows
+        ]
+        write_bench_json(out_json, results, meta={"bench": "fig2_scaling"})
     return rows, r2, model, observer
 
 

@@ -18,10 +18,11 @@ without statistical machinery.
 
 from __future__ import annotations
 
-import time
+from typing import Optional
 
 import numpy as np
 
+from benchmarks.common import bench_result, time_callable, write_bench_json
 from repro.observability import Tracer, maybe_span
 
 STEPS = 500
@@ -74,15 +75,10 @@ def loop_instrumented(tracer, steps: int = STEPS) -> float:
 
 
 def _best_time(fn, rounds: int = ROUNDS) -> float:
-    best = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    return time_callable(fn, rounds=rounds, warmup=1, reduce="min")
 
 
-def run_overhead():
+def run_overhead(out_json: Optional[str] = None):
     bare = _best_time(loop_bare)
     disabled = _best_time(lambda: loop_instrumented(None))
     active_tracer = Tracer()
@@ -102,6 +98,20 @@ def run_overhead():
         f"({active_overhead * 100:+.2f}%, "
         f"{(active - bare) * 1e9 / (STEPS * sites_per_step):.0f} ns/span)"
     )
+    if out_json:
+        write_bench_json(
+            out_json,
+            [
+                bench_result("profile.bare_loop", "time", bare, "s"),
+                bench_result(
+                    "profile.disabled_overhead", "metric", disabled_overhead, "frac"
+                ),
+                bench_result(
+                    "profile.active_overhead", "metric", active_overhead, "frac"
+                ),
+            ],
+            meta={"bench": "profile_overhead", "steps": STEPS, "rounds": ROUNDS},
+        )
     return disabled_overhead, active_overhead
 
 

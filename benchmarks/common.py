@@ -11,7 +11,9 @@ within one pytest session.
 from __future__ import annotations
 
 import functools
-from typing import Dict, Tuple
+import json
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,3 +116,108 @@ def print_header(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+# --------------------------------------------------------------------------- #
+# Timing + the shared BENCH_*.json schema
+# --------------------------------------------------------------------------- #
+#: Schema tag every bench JSON carries; the regression gate refuses files
+#: with a different tag rather than mis-reading them.
+BENCH_SCHEMA = "repro-bench-v1"
+
+
+def time_callable(
+    fn: Callable[[], object],
+    rounds: int = 5,
+    warmup: int = 1,
+    reduce: str = "median",
+) -> float:
+    """Wall time of ``fn()`` in seconds: warmup discarded, median-of-k.
+
+    ``time.perf_counter`` throughout; ``reduce`` may be ``"median"`` (the
+    default — robust to one slow outlier round) or ``"min"`` (tightest
+    bound, for overhead comparisons where any jitter only inflates).
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    for _ in range(max(warmup, 0)):
+        fn()
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    if reduce == "min":
+        return min(times)
+    if reduce != "median":
+        raise ValueError(f"unknown reduce {reduce!r}")
+    times.sort()
+    mid = len(times) // 2
+    if len(times) % 2:
+        return times[mid]
+    return 0.5 * (times[mid - 1] + times[mid])
+
+
+def compare_callables(
+    fn_a: Callable[[], object],
+    fn_b: Callable[[], object],
+    rounds: int = 5,
+    warmup: int = 1,
+) -> Tuple[float, float]:
+    """Median times of two callables measured in *interleaved* rounds.
+
+    Timing each arm in its own block lets machine-load drift between the
+    blocks masquerade as a speedup (or mask one); alternating a/b within
+    every round exposes both arms to the same drift.
+    """
+    for _ in range(max(warmup, 0)):
+        fn_a()
+        fn_b()
+    times_a, times_b = [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - t0)
+
+    def median(ts):
+        ts = sorted(ts)
+        mid = len(ts) // 2
+        return ts[mid] if len(ts) % 2 else 0.5 * (ts[mid - 1] + ts[mid])
+
+    return median(times_a), median(times_b)
+
+
+def bench_result(name: str, kind: str, value: float, unit: str, **extra) -> Dict:
+    """One schema entry: ``kind`` is ``time`` | ``speedup`` | ``metric``."""
+    if kind not in ("time", "speedup", "metric"):
+        raise ValueError(f"unknown result kind {kind!r}")
+    entry = {"name": name, "kind": kind, "value": float(value), "unit": unit}
+    entry.update(extra)
+    return entry
+
+
+def write_bench_json(
+    path: str, results: Sequence[Dict], meta: Optional[Dict] = None
+) -> Dict:
+    """Write results under the shared schema; returns the payload."""
+    payload = {"schema": BENCH_SCHEMA, "meta": dict(meta or {}), "results": list(results)}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_bench_json(path: str) -> Dict:
+    """Load and schema-check a bench JSON file."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("results"), list):
+        raise ValueError(f"{path}: missing results list")
+    return payload

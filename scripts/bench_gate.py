@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Run the hot-path benches and gate them against the committed baseline.
+
+Usage (from the repo root, with ``PYTHONPATH=src:.``)::
+
+    python scripts/bench_gate.py                   # run + gate vs baseline
+    python scripts/bench_gate.py --update-baseline # re-pin the baseline
+    python scripts/bench_gate.py --tiny --rounds 2 # quick smoke
+    python scripts/bench_gate.py --absolute        # also gate absolute times
+
+Speedup ratios are gated by default (machine-portable); absolute times
+only with ``--absolute`` since they don't transfer across machines.
+Exit codes: 0 pass/bootstrap, 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+
+# Allow running as `python scripts/bench_gate.py` from the repo root.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.bench_hotpaths import collect_results, print_results  # noqa: E402
+from benchmarks.common import write_bench_json  # noqa: E402
+from benchmarks.gate import DEFAULT_THRESHOLD, EXIT_USAGE, run_gate  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "BENCH_hotpaths.json",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the current run's JSON here"
+    )
+    parser.add_argument("--rounds", type=int, default=5, help="timed rounds per arm")
+    parser.add_argument("--warmup", type=int, default=1, help="discarded warmup rounds")
+    parser.add_argument(
+        "--tiny", action="store_true", help="shrunken workloads (smoke/CI)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated fractional regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="gate absolute times too (same-machine runs only)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the baseline with this run and pass",
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1 or not 0 < args.threshold < 1:
+        parser.print_usage(sys.stderr)
+        return EXIT_USAGE
+
+    results = collect_results(rounds=args.rounds, warmup=args.warmup, tiny=args.tiny)
+    print_results(results)
+    meta = {
+        "bench": "hotpaths",
+        "rounds": args.rounds,
+        "warmup": args.warmup,
+        "tiny": args.tiny,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    if args.out:
+        write_bench_json(args.out, results, meta=meta)
+    return run_gate(
+        results,
+        args.baseline,
+        threshold=args.threshold,
+        absolute=args.absolute,
+        update_baseline=args.update_baseline,
+        meta=meta,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

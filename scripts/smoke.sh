@@ -4,6 +4,7 @@
 # Lanes:
 #   default            everything except slow scenario suites
 #   SMOKE_LANE=profile only the observability suite (-m profile)
+#   SMOKE_LANE=bench   bench-marked tests, then the hot-path regression gate
 #   SMOKE_LANE=full    the whole suite, markers included
 #
 # Scenario suites run on demand: -m fault / -m stability / -m profile.
@@ -19,11 +20,18 @@ default)
 profile)
     PYTHONPATH=src python -m pytest -x -q -m profile "$@"
     ;;
+bench)
+    PYTHONPATH=src python -m pytest -x -q -m bench "$@"
+    # Gate the hot paths against the committed baseline (speedup ratios,
+    # machine-portable); exits 1 on a >25% regression.
+    PYTHONPATH=src:. python scripts/bench_gate.py
+    exit 0
+    ;;
 full)
     PYTHONPATH=src python -m pytest -x -q "$@"
     ;;
 *)
-    echo "unknown SMOKE_LANE: $LANE (expected default|profile|full)" >&2
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|full)" >&2
     exit 2
     ;;
 esac

@@ -201,6 +201,23 @@ class Tensor:
         else:
             self.grad += grad
 
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """``_accumulate`` for a gradient the caller hands over outright.
+
+        Caller contract: ``grad`` is freshly allocated, writable, aliases
+        no other live array, and is not read or written by the caller
+        after this call.  The first contribution is then adopted without
+        the defensive copy ``_accumulate`` must make (values are identical
+        either way — this only skips a full-array copy on the hot path).
+        """
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
+
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode differentiation from this tensor.
 

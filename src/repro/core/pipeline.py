@@ -14,9 +14,14 @@ from repro.models import build_encoder
 from repro.models.encoder import Encoder
 
 
-def default_transform(cutoff: float = 4.5) -> Callable:
-    """The canonical structure -> radius-graph transform."""
-    return StructureToGraph(cutoff=cutoff)
+def default_transform(cutoff: float = 4.5, cache=None) -> Callable:
+    """The canonical structure -> radius-graph transform.
+
+    Pass ``cache="default"`` to memoize neighbour search in the
+    process-wide LRU cache (see :mod:`repro.data.cache`) — epochs after
+    the first skip the kd-tree work entirely.
+    """
+    return StructureToGraph(cutoff=cutoff, cache=cache)
 
 
 def make_train_loader(

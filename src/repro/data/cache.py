@@ -1,0 +1,218 @@
+"""Memoization for the data pipeline: an LRU byte-budget cache.
+
+Graph construction (cKDTree radius/k-NN search) and featurization (RBF
+expansion) are recomputed for every epoch over an immutable dataset — the
+single largest source of redundant work in the training loop.  The caches
+here memoize those results keyed by *(transform fingerprint, content hash
+of the input arrays)*:
+
+* the **transform fingerprint** covers every parameter that changes the
+  output (cutoff, k, centering, basis count...), so reconfiguring a
+  transform can never serve stale entries;
+* the **content hash** covers dtype, shape, and raw bytes of the input
+  arrays, so two structures with equal geometry share one entry and any
+  mutation produces a different key.
+
+Budgeting is by payload bytes with least-recently-used eviction.  Cached
+arrays are returned with ``writeable=False`` — consumers that need to
+mutate must copy, which keeps a poisoned-cache class of bug impossible.
+
+Stats (hits / misses / evictions / bytes) are exported through the
+observability metrics registry via :func:`publish_cache_metrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Default byte budgets for the process-wide caches.
+DEFAULT_NEIGHBOR_BUDGET = 64 * 1024 * 1024
+DEFAULT_FEATURE_BUDGET = 64 * 1024 * 1024
+
+
+def array_fingerprint(*arrays: np.ndarray) -> str:
+    """Content hash of one or more arrays (dtype + shape + bytes)."""
+    digest = hashlib.sha1()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _payload_bytes(value) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_payload_bytes(v) for v in value)
+    return 64  # conservative floor for scalars / small objects
+
+
+def _freeze(value):
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+        return value
+    if isinstance(value, tuple):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, list):
+        return [_freeze(v) for v in value]
+    return value
+
+
+class LRUByteCache:
+    """Least-recently-used cache bounded by total payload bytes.
+
+    Values are numpy arrays or (nested) tuples of arrays; they are frozen
+    (``writeable=False``) on insertion.  Thread-safe, since loaders and
+    rank-sharded strategies may share the process-wide instances.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_NEIGHBOR_BUDGET, name: str = "cache"):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._sizes: Dict[Tuple, int] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """Return the cached value or None, updating recency and stats."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value):
+        """Insert (or refresh) a value, evicting LRU entries over budget.
+
+        Returns the frozen value so callers can hand it straight out.
+        """
+        value = _freeze(value)
+        size = _payload_bytes(value)
+        with self._lock:
+            if key in self._entries:
+                self.current_bytes -= self._sizes[key]
+                del self._entries[key]
+                del self._sizes[key]
+            if size > self.max_bytes:
+                # Larger than the whole budget: never cached.
+                return value
+            while self.current_bytes + size > self.max_bytes and self._entries:
+                old_key, _ = self._entries.popitem(last=False)
+                self.current_bytes -= self._sizes.pop(old_key)
+                self.evictions += 1
+            self._entries[key] = value
+            self._sizes[key] = size
+            self.current_bytes += size
+            self.insertions += 1
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self.current_bytes = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of accounting counters (for metrics export and tests)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "insertions": float(self.insertions),
+                "entries": float(len(self._entries)),
+                "bytes": float(self.current_bytes),
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide default caches ("default" in transform cache= arguments)
+# --------------------------------------------------------------------------- #
+_DEFAULT_CACHES: Dict[str, LRUByteCache] = {}
+_DEFAULT_LOCK = threading.Lock()
+
+
+def _default(name: str, budget: int) -> LRUByteCache:
+    with _DEFAULT_LOCK:
+        cache = _DEFAULT_CACHES.get(name)
+        if cache is None:
+            cache = LRUByteCache(budget, name=name)
+            _DEFAULT_CACHES[name] = cache
+        return cache
+
+
+def get_neighbor_cache() -> LRUByteCache:
+    """Process-wide cache for neighbor lists / radius graphs."""
+    return _default("neighbor", DEFAULT_NEIGHBOR_BUDGET)
+
+
+def get_feature_cache() -> LRUByteCache:
+    """Process-wide cache for featurizations (e.g. RBF edge features)."""
+    return _default("feature", DEFAULT_FEATURE_BUDGET)
+
+
+def resolve_cache(cache) -> Optional[LRUByteCache]:
+    """Normalize a transform's ``cache`` argument.
+
+    ``None`` -> no caching; ``"neighbor"``/``"feature"``/``"default"`` ->
+    the process-wide instances; an :class:`LRUByteCache` passes through.
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, LRUByteCache):
+        return cache
+    if cache in ("default", "neighbor"):
+        return get_neighbor_cache()
+    if cache == "feature":
+        return get_feature_cache()
+    raise ValueError(f"unknown cache spec {cache!r}")
+
+
+def clear_default_caches() -> None:
+    """Drop all entries from the process-wide caches (tests, reconfig)."""
+    with _DEFAULT_LOCK:
+        caches = list(_DEFAULT_CACHES.values())
+    for cache in caches:
+        cache.clear()
+
+
+def default_cache_stats() -> Dict[str, Dict[str, float]]:
+    """Stats for every instantiated process-wide cache, keyed by name."""
+    with _DEFAULT_LOCK:
+        caches = dict(_DEFAULT_CACHES)
+    return {name: cache.stats() for name, cache in caches.items()}
+
+
+def publish_cache_metrics(registry, caches=None, prefix: str = "cache") -> None:
+    """Export cache stats as gauges on a metrics registry.
+
+    ``caches`` defaults to the process-wide instances; pass explicit
+    :class:`LRUByteCache` objects to export private caches too.
+    """
+    if caches is None:
+        with _DEFAULT_LOCK:
+            caches = list(_DEFAULT_CACHES.values())
+    for cache in caches:
+        for key, value in cache.stats().items():
+            registry.gauge(f"{prefix}.{cache.name}.{key}").set(value)

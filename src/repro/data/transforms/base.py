@@ -14,6 +14,15 @@ class Transform:
     def __repr__(self) -> str:
         return f"{self.__class__.__name__}()"
 
+    def fingerprint(self) -> str:
+        """Stable identity string covering every output-affecting parameter.
+
+        Cache keys combine this with a content hash of the input arrays, so
+        a transform whose ``__repr__`` omits parameters MUST override this —
+        otherwise reconfiguring it could serve stale cached results.
+        """
+        return repr(self)
+
 
 class Compose(Transform):
     """Apply transforms left to right."""
@@ -28,6 +37,14 @@ class Compose(Transform):
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+    def fingerprint(self) -> str:
+        """Combine child fingerprints so any stage change invalidates keys."""
+        inner = ", ".join(
+            t.fingerprint() if isinstance(t, Transform) else repr(t)
+            for t in self.transforms
+        )
         return f"Compose([{inner}])"
 
 

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.data.cache import array_fingerprint, resolve_cache
 from repro.data.structures import GraphSample, PointCloudSample, Structure
 from repro.data.transforms.base import Transform
 
@@ -121,23 +122,48 @@ class StructureToPointCloud(Transform):
 
 
 class StructureToGraph(Transform):
-    """Build a graph sample from a structure with a radius or k-NN rule."""
+    """Build a graph sample from a structure with a radius or k-NN rule.
 
-    def __init__(self, cutoff: float = 5.0, k: Optional[int] = None, center: bool = True):
+    ``cache`` memoizes the neighbour search keyed by (transform fingerprint,
+    content hash of the centred positions): ``None`` disables, ``"default"``
+    uses the process-wide neighbour cache, or pass an ``LRUByteCache``.
+    """
+
+    def __init__(
+        self,
+        cutoff: float = 5.0,
+        k: Optional[int] = None,
+        center: bool = True,
+        cache=None,
+    ):
         if k is not None and k < 1:
             raise ValueError("k must be >= 1")
         self.cutoff = cutoff
         self.k = k
         self.center = center
+        self._cache = resolve_cache(cache)
+
+    def fingerprint(self) -> str:
+        """Identity covering cutoff, k, and centring (repr omits center)."""
+        return f"StructureToGraph(cutoff={self.cutoff}, k={self.k}, center={self.center})"
+
+    def _build_edges(self, pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self.k is not None:
+            return knn_graph(pos, self.k)
+        return radius_graph(pos, self.cutoff)
 
     def __call__(self, structure: Structure) -> GraphSample:
         pos = structure.positions
         if self.center:
             pos = pos - pos.mean(axis=0, keepdims=True)
-        if self.k is not None:
-            src, dst = knn_graph(pos, self.k)
+        if self._cache is not None:
+            key = (self.fingerprint(), array_fingerprint(pos))
+            cached = self._cache.get(key)
+            if cached is None:
+                cached = self._cache.put(key, self._build_edges(pos))
+            src, dst = cached
         else:
-            src, dst = radius_graph(pos, self.cutoff)
+            src, dst = self._build_edges(pos)
         return GraphSample(
             positions=pos,
             species=structure.species.copy(),
@@ -155,15 +181,29 @@ class StructureToGraph(Transform):
 class PointCloudToGraph(Transform):
     """Impose connectivity on a point-cloud sample."""
 
-    def __init__(self, cutoff: float = 5.0, k: Optional[int] = None):
+    def __init__(self, cutoff: float = 5.0, k: Optional[int] = None, cache=None):
         self.cutoff = cutoff
         self.k = k
+        self._cache = resolve_cache(cache)
+
+    def fingerprint(self) -> str:
+        """Identity covering both the radius and k-NN rule parameters."""
+        return f"PointCloudToGraph(cutoff={self.cutoff}, k={self.k})"
+
+    def _build_edges(self, pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self.k is not None:
+            return knn_graph(pos, self.k)
+        return radius_graph(pos, self.cutoff)
 
     def __call__(self, sample: PointCloudSample) -> GraphSample:
-        if self.k is not None:
-            src, dst = knn_graph(sample.positions, self.k)
+        if self._cache is not None:
+            key = (self.fingerprint(), array_fingerprint(sample.positions))
+            cached = self._cache.get(key)
+            if cached is None:
+                cached = self._cache.put(key, self._build_edges(sample.positions))
+            src, dst = cached
         else:
-            src, dst = radius_graph(sample.positions, self.cutoff)
+            src, dst = self._build_edges(sample.positions)
         return GraphSample(
             positions=sample.positions,
             species=sample.species,

@@ -21,6 +21,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.data.structures import GraphBatch
+from repro.kernels import dispatch as K
 from repro.models.encoder import Encoder, EncoderOutput
 from repro.nn import Embedding, Linear, ModuleList, Sequential, SiLU
 from repro.nn.module import Module
@@ -87,20 +88,18 @@ class EGCL(Module):
             h_new = self.phi_h(F.concat([h, zero_msg], axis=1))
             return h + h_new, x
 
-        h_src = F.index_select(h, edge_src)
-        h_dst = F.index_select(h, edge_dst)
-        diff = F.index_select(x, edge_src) - F.index_select(x, edge_dst)
-        sq_dist = (diff * diff).sum(axis=-1, keepdims=True)
-        parts = [h_src, h_dst, sq_dist]
+        diff = K.gather_diff(x, edge_src, edge_dst)
+        sq_dist = K.row_sq_norm(diff)
+        tails = [sq_dist]
         if edge_attr is not None:
-            parts.append(Tensor(edge_attr))
-        m = self.phi_e(F.concat(parts, axis=1))
+            tails.append(Tensor(edge_attr))
+        m = self.phi_e(K.gather_pair_concat(h, edge_src, edge_dst, tails))
 
         if self.update_positions:
             scale = F.tanh(self.phi_x(m))
             x = x + F.segment_mean(diff * scale, edge_src, num_nodes)
 
-        agg = F.segment_sum(m, edge_src, num_nodes)
+        agg = K.segment_sum(m, edge_src, num_nodes)
         h_new = self.phi_h(F.concat([h, agg], axis=1))
         return h + h_new, x
 
@@ -149,7 +148,7 @@ class EGNN(Encoder):
         x = x0
         for layer in self.layers:
             h, x = layer(h, x, batch.edge_src, batch.edge_dst, batch.edge_attr)
-        graph = F.segment_sum(h, batch.node_graph, batch.num_graphs)
+        graph = K.segment_sum(h, batch.node_graph, batch.num_graphs)
         update = (x - x0) if self.update_positions else None
         return EncoderOutput(
             graph_embedding=graph, node_embedding=h, coordinate_update=update

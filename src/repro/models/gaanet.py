@@ -20,6 +20,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.data.structures import GraphBatch
+from repro.kernels import dispatch as K
 from repro.models.encoder import Encoder, EncoderOutput
 from repro.nn import Embedding, Linear, ModuleList, Sequential, SiLU
 from repro.nn.module import Module
@@ -119,10 +120,10 @@ class GeometricAttentionLayer(Module):
         if len(src) == 0:
             pooled = Tensor(np.zeros((num_nodes, h.shape[1])))
         else:
-            pair = F.concat([F.index_select(h, src), F.index_select(h, dst), Tensor(geom)], axis=1)
+            pair = K.gather_pair_concat(h, src, dst, [Tensor(geom)])
             alpha = F.segment_softmax(self.score(pair).squeeze(-1), src, num_nodes)
             values = self.value(pair)
-            pooled = F.segment_sum(values * alpha.unsqueeze(-1), src, num_nodes)
+            pooled = K.mul_segment_sum(values, alpha.unsqueeze(-1), src, num_nodes)
         return h + self.update(F.concat([h, pooled], axis=1))
 
 
@@ -158,5 +159,5 @@ class GeometricAttentionEncoder(Encoder):
         h = self.atom_embedding(batch.species)
         for layer in self.layers:
             h = layer(h, geom, src, dst)
-        graph = F.segment_sum(h, batch.node_graph, batch.num_graphs)
+        graph = K.segment_sum(h, batch.node_graph, batch.num_graphs)
         return EncoderOutput(graph_embedding=graph, node_embedding=h)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.data.structures import GraphBatch
+from repro.kernels import dispatch as K
 from repro.models.encoder import Encoder, EncoderOutput
 from repro.nn import Embedding, Linear, ModuleList, Sequential
 from repro.nn.module import Module
@@ -81,9 +82,8 @@ class SchNetInteraction(Module):
         if len(edge_src) == 0:
             return h
         filters = self.filter_net(Tensor(rbf))
-        neighbours = F.index_select(self.project(h), edge_dst)
-        messages = neighbours * filters
-        agg = F.segment_sum(messages, edge_src, num_nodes)
+        neighbours = K.index_select(self.project(h), edge_dst)
+        agg = K.mul_segment_sum(neighbours, filters, edge_src, num_nodes)
         return h + self.update(agg)
 
 
@@ -119,5 +119,5 @@ class SchNet(Encoder):
             rbf = np.zeros((0, self.smearing.num_rbf))
         for block in self.interactions:
             h = block(h, rbf, batch.edge_src, batch.edge_dst)
-        graph = F.segment_sum(h, batch.node_graph, batch.num_graphs)
+        graph = K.segment_sum(h, batch.node_graph, batch.num_graphs)
         return EncoderOutput(graph_embedding=graph, node_embedding=h)

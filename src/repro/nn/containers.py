@@ -4,11 +4,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List
 
+from repro.autograd import Tensor
+from repro.kernels import dispatch as K
 from repro.nn.module import Module
 
 
 class Sequential(Module):
-    """Apply modules in order."""
+    """Apply modules in order.
+
+    When fused kernels are enabled, adjacent (Linear, activation) pairs are
+    collapsed into one fused ``linear_act`` tape node; any other module —
+    and the reference path — runs exactly as written.
+    """
 
     def __init__(self, *modules: Module) -> None:
         super().__init__()
@@ -18,8 +25,25 @@ class Sequential(Module):
             self._order.append(f"layer{i}")
 
     def forward(self, x):
-        for name in self._order:
-            x = getattr(self, name)(x)
+        modules = [getattr(self, name) for name in self._order]
+        count = len(modules)
+        i = 0
+        while i < count:
+            module = modules[i]
+            if (
+                K.fused_enabled()
+                and type(module).__name__ == "Linear"
+                and isinstance(x, Tensor)
+                and x.data.ndim >= 2
+                and i + 1 < count
+            ):
+                act = K.activation_key(modules[i + 1])
+                if act is not None:
+                    x = K.linear_act(x, module.weight, module.bias, act=act)
+                    i += 2
+                    continue
+            x = module(x)
+            i += 1
         return x
 
     def __iter__(self) -> Iterator[Module]:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor
-from repro.autograd import functional as F
+from repro.kernels import dispatch as K
 from repro.nn.module import Module, Parameter
 
 
@@ -35,7 +35,7 @@ class Embedding(Module):
                 f"embedding ids out of range [0, {self.num_embeddings}): "
                 f"[{ids.min()}, {ids.max()}]"
             )
-        return F.index_select(self.weight, ids)
+        return K.index_select(self.weight, ids)
 
     def __repr__(self) -> str:
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.kernels import dispatch as K
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -35,10 +36,9 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # Dispatches to the fused matmul+bias kernel when enabled; the
+        # reference path is the original two-node composition.
+        return K.linear_act(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return (

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.kernels import dispatch as K
 from repro.nn.activations import get_activation
 from repro.nn.containers import ModuleList, Sequential
 from repro.nn.dropout import Dropout
@@ -65,8 +66,16 @@ class ResidualMLPBlock(Module):
         self.dropout = Dropout(dropout, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        h = self.linear(x)
-        h = self.activation(h)
+        act = K.activation_key(self.activation)
+        if (
+            K.fused_enabled()
+            and act is not None
+            and isinstance(x, Tensor)
+            and x.data.ndim >= 2
+        ):
+            h = K.linear_act(x, self.linear.weight, self.linear.bias, act=act)
+        else:
+            h = self.activation(self.linear(x))
         h = self.norm(h)
         h = self.dropout(h)
         return x + h

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd import functional as F
+from repro.kernels import dispatch as K
 from repro.nn.module import Module, Parameter
 
 
@@ -25,9 +26,7 @@ class RMSNorm(Module):
         self.weight = Parameter(np.ones(dim))
 
     def forward(self, x: Tensor) -> Tensor:
-        ms = (x * x).mean(axis=-1, keepdims=True)
-        rms = F.sqrt(ms + self.eps)
-        return x / rms * self.weight
+        return K.rms_norm(x, self.weight, self.eps)
 
     def __repr__(self) -> str:
         return f"RMSNorm({self.dim}, eps={self.eps})"
@@ -44,11 +43,7 @@ class LayerNorm(Module):
         self.bias = Parameter(np.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
-        mu = x.mean(axis=-1, keepdims=True)
-        centered = x - mu
-        var = (centered * centered).mean(axis=-1, keepdims=True)
-        normed = centered / F.sqrt(var + self.eps)
-        return normed * self.weight + self.bias
+        return K.layer_norm(x, self.weight, self.bias, self.eps)
 
     def __repr__(self) -> str:
         return f"LayerNorm({self.dim}, eps={self.eps})"

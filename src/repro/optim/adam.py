@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.kernels import dispatch
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
 
@@ -58,12 +59,18 @@ class Adam(Optimizer):
         self.amsgrad = amsgrad
         self.update_clip = update_clip
         self._decoupled = False
+        # Preallocated per-parameter work buffers for the fused step.  Kept
+        # out of ``self.state`` so checkpoints never serialize scratch.
+        self._scratch: Dict[int, tuple] = {}
 
     def step(self) -> None:
         self.step_count += 1
         t = self.step_count
         bias1 = 1.0 - self.beta1**t
         bias2 = 1.0 - self.beta2**t
+        if dispatch.fused_enabled():
+            self._step_fused(bias1, bias2)
+            return
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
@@ -96,6 +103,63 @@ class Adam(Optimizer):
             if self.weight_decay and self._decoupled:
                 p.data -= self.lr * self.weight_decay * p.data
             p.data -= self.lr * update
+
+    def _step_fused(self, bias1: float, bias2: float) -> None:
+        """Single-pass update using two preallocated scratch buffers.
+
+        Bit-identical to the reference loop above: every in-place numpy op
+        computes the same elementwise expression (IEEE multiplication and
+        addition are commutative), so parameters, moments, and checkpoints
+        agree to the last ulp with ``REPRO_FUSED=0``.  The win is allocation
+        traffic: the reference path materializes ~7 temporaries per
+        parameter per step, this path none.
+        """
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            state = self.state.setdefault(i, {})
+            if "m" not in state:
+                state["m"] = np.zeros_like(p.data)
+                state["v"] = np.zeros_like(p.data)
+                if self.amsgrad:
+                    state["vmax"] = np.zeros_like(p.data)
+            scratch = self._scratch.get(i)
+            if scratch is None or scratch[0].shape != p.data.shape:
+                scratch = (np.empty_like(p.data), np.empty_like(p.data))
+                self._scratch[i] = scratch
+            s1, s2 = scratch
+            m, v = state["m"], state["v"]
+            if self.weight_decay and not self._decoupled:
+                np.multiply(p.data, self.weight_decay, out=s1)
+                s1 += g
+                g = s1
+            m *= self.beta1
+            np.multiply(g, 1.0 - self.beta1, out=s2)
+            m += s2
+            v *= self.beta2
+            np.multiply(g, 1.0 - self.beta2, out=s2)
+            s2 *= g
+            v += s2
+            if self.amsgrad:
+                vmax = state["vmax"]
+                np.maximum(vmax, v, out=vmax)
+                np.divide(vmax, bias2, out=s1)
+            else:
+                np.divide(v, bias2, out=s1)
+            np.sqrt(s1, out=s1)
+            s1 += self.eps
+            np.divide(m, bias1, out=s2)
+            s2 /= s1
+            if self.update_clip is not None:
+                rms = float(np.sqrt(np.mean(s2 * s2)))
+                if rms > self.update_clip:
+                    s2 *= self.update_clip / rms
+            if self.weight_decay and self._decoupled:
+                np.multiply(p.data, self.lr * self.weight_decay, out=s1)
+                p.data -= s1
+            s2 *= self.lr
+            p.data -= s2
 
     # ------------------------------------------------------------------ #
     # Instability diagnostics

@@ -19,6 +19,7 @@ from repro.autograd import Tensor, no_grad
 from repro.autograd import functional as F
 from repro.data.structures import GraphBatch
 from repro.data.transforms.features import TargetNormalizer
+from repro.kernels import dispatch as K
 from repro.models.encoder import Encoder
 from repro.nn import ModuleDict, OutputHead
 from repro.tasks.base import Task, ValResult
@@ -129,7 +130,7 @@ class MultiTaskModule(Task):
             if not mask.any():
                 continue
             idx = np.nonzero(mask)[0]
-            rows = F.index_select(embedding, idx)
+            rows = K.index_select(embedding, idx)
             pred = self.heads[spec.name](rows).squeeze(-1)
             raw = np.asarray(batch.targets[spec.target], dtype=np.float64).reshape(-1)[idx]
             if spec.kind == "regression":
@@ -161,7 +162,7 @@ class MultiTaskModule(Task):
             idx = np.nonzero(mask)[0]
             with no_grad():
                 pred = self.heads[spec.name](
-                    F.index_select(embedding, idx)
+                    K.index_select(embedding, idx)
                 ).squeeze(-1)
             raw = np.asarray(batch.targets[spec.target], dtype=np.float64).reshape(-1)[idx]
             n = len(idx)

@@ -21,6 +21,8 @@ MARKERS = [
     "select with -m profile",
     "slow: long-running regression tests; excluded from the smoke lane with "
     "-m 'not slow'",
+    "bench: benchmark-gate integrations that time real workloads; select "
+    "with -m bench",
 ]
 
 

@@ -1,0 +1,181 @@
+"""Benchmark-regression gate: unit tests over synthetic baselines.
+
+The gate compares a current bench run against a committed JSON baseline
+and fails on >threshold regressions.  These tests drive it with synthetic
+result sets — no timing involved — so the pass/fail/bootstrap contract is
+checked exactly; a tiny timed integration run is marked ``bench``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (  # noqa: E402
+    BENCH_SCHEMA,
+    bench_result,
+    compare_callables,
+    load_bench_json,
+    time_callable,
+    write_bench_json,
+)
+from benchmarks.gate import (  # noqa: E402
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
+    compare_results,
+    run_gate,
+)
+
+
+def _results(speedup=1.5, step_time=0.1):
+    return [
+        bench_result("kernel.x", "speedup", speedup, "x"),
+        bench_result("kernel.x.time", "time", step_time, "s"),
+        bench_result("aux.count", "metric", 7, "items"),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# compare_results verdict logic
+# --------------------------------------------------------------------------- #
+class TestCompareResults:
+    def test_within_threshold_passes(self):
+        verdicts = compare_results(_results(1.4), _results(1.5))
+        assert [v["regressed"] for v in verdicts] == [False]
+
+    def test_speedup_regression_beyond_threshold_fails(self):
+        # 1.5 -> 1.0 is a 33% drop: beyond the 25% tolerance.
+        verdicts = compare_results(_results(1.0), _results(1.5))
+        assert [v["regressed"] for v in verdicts] == [True]
+
+    def test_boundary_is_not_a_regression(self):
+        verdicts = compare_results(_results(1.5 * 0.75), _results(1.5))
+        assert not verdicts[0]["regressed"]
+
+    def test_time_entries_gated_only_with_absolute(self):
+        slow = _results(1.5, step_time=0.2)
+        base = _results(1.5, step_time=0.1)
+        assert len(compare_results(slow, base)) == 1  # speedup only
+        verdicts = compare_results(slow, base, absolute=True)
+        assert len(verdicts) == 2
+        by_kind = {v["kind"]: v for v in verdicts}
+        assert by_kind["time"]["regressed"]  # 2x slower
+        assert not by_kind["speedup"]["regressed"]
+
+    def test_faster_time_is_not_a_regression(self):
+        verdicts = compare_results(
+            _results(1.5, 0.05), _results(1.5, 0.1), absolute=True
+        )
+        assert not any(v["regressed"] for v in verdicts)
+
+    def test_metric_entries_never_gated(self):
+        current = _results()
+        current[2]["value"] = 999.0
+        assert all(v["kind"] != "metric" for v in compare_results(current, _results()))
+
+    def test_new_and_removed_entries_are_skipped(self):
+        current = _results() + [bench_result("kernel.new", "speedup", 0.1, "x")]
+        baseline = _results() + [bench_result("kernel.gone", "speedup", 9.9, "x")]
+        names = [v["name"] for v in compare_results(current, baseline)]
+        assert names == ["kernel.x"]
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_results(_results(), _results(), threshold=1.5)
+
+
+# --------------------------------------------------------------------------- #
+# run_gate: bootstrap / pass / fail, exit codes, baseline file handling
+# --------------------------------------------------------------------------- #
+class TestRunGate:
+    def test_missing_baseline_bootstraps_and_passes(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        assert run_gate(_results(), str(path)) == EXIT_PASS
+        assert path.exists()
+        payload = load_bench_json(str(path))
+        assert payload["schema"] == BENCH_SCHEMA
+        assert "bootstrapped" in capsys.readouterr().out
+        # Second run gates against the bootstrap and passes.
+        assert run_gate(_results(), str(path)) == EXIT_PASS
+
+    def test_regression_fails_with_exit_1(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        write_bench_json(str(path), _results(2.0))
+        assert run_gate(_results(1.0), str(path)) == EXIT_REGRESSION
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_update_baseline_overwrites_and_passes(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_bench_json(str(path), _results(9.0))
+        assert run_gate(_results(1.0), str(path), update_baseline=True) == EXIT_PASS
+        payload = load_bench_json(str(path))
+        by_name = {r["name"]: r["value"] for r in payload["results"]}
+        assert by_name["kernel.x"] == 1.0
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"schema": "something-else", "results": []}')
+        assert run_gate(_results(), str(path)) == EXIT_USAGE
+
+    def test_committed_baseline_loads_under_schema(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        payload = load_bench_json(os.path.join(repo, "benchmarks", "BENCH_hotpaths.json"))
+        names = {r["name"] for r in payload["results"]}
+        assert "e2e.pretrain_step" in names
+        kinds = {r["kind"] for r in payload["results"]}
+        assert kinds <= {"time", "speedup", "metric"}
+
+
+# --------------------------------------------------------------------------- #
+# Shared timing helpers
+# --------------------------------------------------------------------------- #
+class TestTimingHelpers:
+    def test_time_callable_counts_calls(self):
+        calls = []
+        time_callable(lambda: calls.append(1), rounds=3, warmup=2)
+        assert len(calls) == 5  # warmup discarded from timing but still run
+
+    def test_time_callable_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, rounds=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, reduce="mean")
+
+    def test_compare_callables_interleaves(self):
+        order = []
+        compare_callables(
+            lambda: order.append("a"), lambda: order.append("b"), rounds=3, warmup=1
+        )
+        # warmup pair + 3 interleaved rounds, strictly alternating
+        assert order == ["a", "b"] * 4
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        write_bench_json(str(path), _results(), meta={"k": 1})
+        payload = load_bench_json(str(path))
+        assert payload["meta"] == {"k": 1}
+        assert payload["results"][0]["name"] == "kernel.x"
+
+    def test_bench_result_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            bench_result("x", "latency", 1.0, "s")
+
+
+# --------------------------------------------------------------------------- #
+# Tiny end-to-end integration (timed; kept out of quick lanes via marker)
+# --------------------------------------------------------------------------- #
+@pytest.mark.bench
+def test_gate_integration_tiny(tmp_path):
+    from benchmarks.bench_hotpaths import collect_results
+
+    results = collect_results(rounds=1, warmup=0, tiny=True)
+    names = {r["name"] for r in results}
+    assert {"e2e.pretrain_step", "kernel.linear_act_silu", "data.neighbor_cache"} <= names
+    path = tmp_path / "BENCH_tiny.json"
+    assert run_gate(results, str(path)) == EXIT_PASS  # bootstrap
+    assert run_gate(results, str(path)) == EXIT_PASS  # self-compare

@@ -1,0 +1,261 @@
+"""Data-pipeline caching: LRU byte budget, fingerprints, collate buffers.
+
+The stale-cache failure mode this file guards against: a transform's
+parameters change (different cutoff, different RBF grid) but a cache keyed
+too loosely serves results computed under the old parameters.  Keys here
+are (transform fingerprint, content hash of the input arrays), so both a
+parameter change and a data change must miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, collate_graphs
+from repro.data.batching import CollateBuffers
+from repro.data.cache import (
+    LRUByteCache,
+    array_fingerprint,
+    clear_default_caches,
+    default_cache_stats,
+    get_feature_cache,
+    get_neighbor_cache,
+    publish_cache_metrics,
+    resolve_cache,
+)
+from repro.data.structures import GraphSample
+from repro.data.transforms import Compose, DistanceEdgeFeatures, StructureToGraph
+from repro.datasets import SymmetryPointCloudDataset
+from repro.observability import MetricsRegistry
+
+
+def _make_samples(count=4, nodes=10, edges=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        GraphSample(
+            positions=rng.normal(size=(nodes, 3)),
+            species=rng.integers(0, 4, size=nodes),
+            edge_src=rng.integers(0, nodes, size=edges).astype(np.int64),
+            edge_dst=rng.integers(0, nodes, size=edges).astype(np.int64),
+            targets={"y": float(rng.normal())},
+        )
+        for _ in range(count)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# LRUByteCache mechanics
+# --------------------------------------------------------------------------- #
+class TestLRUByteCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        assert cache.get("a") is None
+        cache.put("a", np.ones(8))
+        assert np.array_equal(cache.get("a"), np.ones(8))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+
+    def test_lru_eviction_at_byte_budget(self):
+        item = np.ones(100)  # 800 bytes
+        cache = LRUByteCache(max_bytes=3 * item.nbytes, name="t")
+        for key in "abc":
+            cache.put(key, item.copy())
+        cache.get("a")  # refresh a: b is now least-recent
+        cache.put("d", item.copy())
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") is not None
+        assert cache.get("d") is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= 3 * item.nbytes
+
+    def test_oversized_value_is_not_cached(self):
+        cache = LRUByteCache(max_bytes=64, name="t")
+        big = np.ones(1000)
+        returned = cache.put("big", big)
+        assert returned is big
+        assert cache.get("big") is None
+        assert cache.stats()["entries"] == 0
+
+    def test_cached_arrays_are_frozen(self):
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        value = cache.put("k", (np.ones(4), np.zeros(3)))
+        for arr in value:
+            with pytest.raises(ValueError):
+                arr[0] = 9.0
+
+    def test_reinsert_replaces_and_reaccounts(self):
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        cache.put("k", np.ones(10))
+        cache.put("k", np.ones(100))
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["bytes"] == np.ones(100).nbytes
+
+    def test_clear_resets_contents_but_counts_survive(self):
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        cache.put("k", np.ones(4))
+        cache.get("k")
+        cache.clear()
+        assert cache.get("k") is None
+        assert cache.stats()["entries"] == 0
+
+    def test_resolve_cache_names(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache("neighbor") is get_neighbor_cache()
+        assert resolve_cache("default") is get_neighbor_cache()
+        assert resolve_cache("feature") is get_feature_cache()
+        own = LRUByteCache(max_bytes=16, name="own")
+        assert resolve_cache(own) is own
+        with pytest.raises(ValueError):
+            resolve_cache("bogus")
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprints and transform memoization
+# --------------------------------------------------------------------------- #
+class TestFingerprints:
+    def test_array_fingerprint_sensitivity(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert array_fingerprint(a) == array_fingerprint(a.copy())
+        assert array_fingerprint(a) != array_fingerprint(a + 1e-12)
+        assert array_fingerprint(a) != array_fingerprint(a.reshape(3, 2))
+        assert array_fingerprint(a) != array_fingerprint(a.astype(np.float32))
+
+    def test_transform_fingerprint_includes_parameters(self):
+        assert (
+            StructureToGraph(cutoff=2.5).fingerprint()
+            != StructureToGraph(cutoff=3.0).fingerprint()
+        )
+        assert (
+            StructureToGraph(cutoff=2.5, center=False).fingerprint()
+            != StructureToGraph(cutoff=2.5, center=True).fingerprint()
+        )
+
+    def test_compose_fingerprint_combines_children(self):
+        one = Compose([StructureToGraph(cutoff=2.5)])
+        two = Compose([StructureToGraph(cutoff=3.0)])
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_transform_hits_on_repeat_and_results_match(self):
+        ds = SymmetryPointCloudDataset(4, seed=3, group_names=["C2", "C4"])
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        cold = StructureToGraph(cutoff=2.5)
+        warm = StructureToGraph(cutoff=2.5, cache=cache)
+        for i in range(4):
+            a, b = cold(ds[i]), warm(ds[i])
+            assert np.array_equal(a.edge_src, b.edge_src)
+            assert np.array_equal(a.edge_dst, b.edge_dst)
+        for i in range(4):  # second epoch: all hits
+            warm(ds[i])
+        stats = cache.stats()
+        assert stats["misses"] == 4 and stats["hits"] == 4
+
+    def test_stale_cache_poisoning_regression(self):
+        # Two transforms with different cutoffs sharing one cache MUST NOT
+        # serve each other's neighbor lists.
+        ds = SymmetryPointCloudDataset(2, seed=3, group_names=["C4"])
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        tight = StructureToGraph(cutoff=1.0, cache=cache)
+        loose = StructureToGraph(cutoff=4.0, cache=cache)
+        sample = ds[0]
+        tight_edges = tight(sample).num_edges
+        loose_edges = loose(sample).num_edges
+        assert loose_edges > tight_edges
+        assert tight(sample).num_edges == tight_edges  # hit, still correct
+        assert cache.stats()["misses"] == 2
+
+    def test_feature_transform_caches(self):
+        ds = SymmetryPointCloudDataset(2, seed=3, group_names=["C4"])
+        graphed = StructureToGraph(cutoff=2.5)(ds[0])
+        cache = LRUByteCache(max_bytes=1 << 20, name="t")
+        feat = DistanceEdgeFeatures(num_basis=4, cache=cache)
+        first = feat(graphed)
+        second = feat(graphed)
+        assert np.array_equal(first.edge_attr, second.edge_attr)
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Metrics export through the observability registry
+# --------------------------------------------------------------------------- #
+class TestCacheMetrics:
+    def test_publish_cache_metrics_gauges(self):
+        registry = MetricsRegistry()
+        cache = LRUByteCache(max_bytes=1 << 20, name="unit")
+        cache.put("k", np.ones(4))
+        cache.get("k")
+        cache.get("absent")
+        publish_cache_metrics(registry, caches=[cache])
+        snapshot = registry.snapshot()
+        assert snapshot["cache.unit.hits"]["value"] == 1.0
+        assert snapshot["cache.unit.misses"]["value"] == 1.0
+        assert snapshot["cache.unit.entries"]["value"] == 1.0
+        assert snapshot["cache.unit.hit_rate"]["value"] == pytest.approx(0.5)
+
+    def test_default_cache_stats_shape(self):
+        clear_default_caches()
+        stats = default_cache_stats()
+        assert set(stats) == {"neighbor", "feature"}
+        for entry in stats.values():
+            assert {"hits", "misses", "evictions", "bytes", "entries"} <= set(entry)
+
+
+# --------------------------------------------------------------------------- #
+# Collate buffers and the loader integration
+# --------------------------------------------------------------------------- #
+class TestCollateBuffers:
+    def test_buffered_collate_matches_plain(self):
+        samples = _make_samples()
+        plain = collate_graphs(samples)
+        buffered = collate_graphs(samples, buffers=CollateBuffers())
+        for attr in ("positions", "species", "edge_src", "edge_dst", "node_graph"):
+            assert np.array_equal(getattr(plain, attr), getattr(buffered, attr))
+        assert plain.num_graphs == buffered.num_graphs
+        assert np.array_equal(plain.targets["y"], buffered.targets["y"])
+
+    def test_buffers_are_reused_not_reallocated(self):
+        samples = _make_samples()
+        buffers = CollateBuffers()
+        collate_graphs(samples, buffers=buffers)
+        allocs = buffers.reallocs
+        first = collate_graphs(samples, buffers=buffers)
+        second = collate_graphs(samples, buffers=buffers)
+        assert buffers.reallocs == allocs  # steady state allocates nothing
+        assert np.shares_memory(first.positions, second.positions)
+
+    def test_aliasing_contract_next_collate_overwrites(self):
+        batch_a = _make_samples(seed=1)
+        batch_b = _make_samples(seed=2)
+        buffers = CollateBuffers()
+        first = collate_graphs(batch_a, buffers=buffers)
+        before = first.positions.copy()
+        collate_graphs(batch_b, buffers=buffers)
+        # The previously returned batch now shows the NEW batch's data:
+        # consumers must finish a batch before drawing the next.
+        assert not np.array_equal(first.positions, before)
+
+    def test_buffers_grow_for_larger_batches(self):
+        buffers = CollateBuffers()
+        collate_graphs(_make_samples(nodes=5, edges=10), buffers=buffers)
+        bigger = collate_graphs(_make_samples(nodes=50, edges=400), buffers=buffers)
+        assert bigger.positions.shape[0] == 4 * 50
+
+    def test_loader_reuse_buffers_batches_match_plain(self):
+        ds = SymmetryPointCloudDataset(8, seed=3, group_names=["C2", "C4"])
+        tf = StructureToGraph(cutoff=2.5)
+        buffered = DataLoader(ds, batch_size=4, transform=tf, reuse_buffers=True)
+        plain = DataLoader(ds, batch_size=4, transform=tf)
+        for b, p in zip(buffered, plain):
+            assert np.array_equal(b.positions, p.positions)
+            assert np.array_equal(b.edge_src, p.edge_src)
+        assert buffered.buffers is not None and buffered.buffers.reallocs > 0
+
+    def test_loader_rejects_buffers_with_incompatible_collate(self):
+        ds = SymmetryPointCloudDataset(4, seed=3, group_names=["C2"])
+        with pytest.raises(ValueError):
+            DataLoader(
+                ds, batch_size=2, collate_fn=lambda samples: samples, reuse_buffers=True
+            )

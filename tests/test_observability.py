@@ -535,7 +535,9 @@ class TestObserverIntegration:
     def test_per_op_profile_attributes_backward(self, profiled_run):
         prof = profiled_run.observer.op_profiler
         backward = prof.backward_by_op()
-        assert "matmul" in backward
+        # The affine hot path shows up as "matmul" on the reference tape and
+        # as the fused "linear_act" node when REPRO_FUSED is on.
+        assert "matmul" in backward or "linear_act" in backward
         assert all(t >= 0.0 for t in backward.values())
         # Forward side saw the EGNN's message passing.
         forward_names = {s.name for s in prof.summary("forward")}
