@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Run the hot-path benches and gate them against the committed baseline.
+"""Run the performance benches and gate them against committed baselines.
 
 Usage (from the repo root, with ``PYTHONPATH=src:.``)::
 
-    python scripts/bench_gate.py                   # run + gate vs baseline
-    python scripts/bench_gate.py --update-baseline # re-pin the baseline
+    python scripts/bench_gate.py                   # run + gate all suites
+    python scripts/bench_gate.py --suite sharding  # one suite only
+    python scripts/bench_gate.py --update-baseline # re-pin the baselines
     python scripts/bench_gate.py --tiny --rounds 2 # quick smoke
     python scripts/bench_gate.py --absolute        # also gate absolute times
+
+Suites: ``hotpaths`` (fused kernels + caching, vs
+``benchmarks/BENCH_hotpaths.json``) and ``sharding`` (ZeRO bucketed comm,
+vs ``benchmarks/BENCH_sharding.json``).
 
 Speedup ratios are gated by default (machine-portable); absolute times
 only with ``--absolute`` since they don't transfer across machines.
@@ -23,21 +28,33 @@ import sys
 # Allow running as `python scripts/bench_gate.py` from the repo root.
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks.bench_hotpaths import collect_results, print_results  # noqa: E402
+from benchmarks import bench_hotpaths, bench_sharding  # noqa: E402
 from benchmarks.common import write_bench_json  # noqa: E402
 from benchmarks.gate import DEFAULT_THRESHOLD, EXIT_USAGE, run_gate  # noqa: E402
 
-DEFAULT_BASELINE = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "benchmarks",
-    "BENCH_hotpaths.json",
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
 )
+
+#: suite name -> (module with collect_results/print_results, baseline JSON)
+SUITES = {
+    "hotpaths": (bench_hotpaths, os.path.join(_BENCH_DIR, "BENCH_hotpaths.json")),
+    "sharding": (bench_sharding, os.path.join(_BENCH_DIR, "BENCH_sharding.json")),
+}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline", default=DEFAULT_BASELINE, help="baseline JSON to gate against"
+        "--suite",
+        default="all",
+        choices=["all", *SUITES],
+        help="which bench suite to run and gate (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON override (single-suite runs only)",
     )
     parser.add_argument(
         "--out", default=None, help="also write the current run's JSON here"
@@ -61,33 +78,50 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="overwrite the baseline with this run and pass",
+        help="overwrite the baselines with this run and pass",
     )
     args = parser.parse_args(argv)
     if args.rounds < 1 or not 0 < args.threshold < 1:
         parser.print_usage(sys.stderr)
         return EXIT_USAGE
 
-    results = collect_results(rounds=args.rounds, warmup=args.warmup, tiny=args.tiny)
-    print_results(results)
-    meta = {
-        "bench": "hotpaths",
-        "rounds": args.rounds,
-        "warmup": args.warmup,
-        "tiny": args.tiny,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    if args.out:
-        write_bench_json(args.out, results, meta=meta)
-    return run_gate(
-        results,
-        args.baseline,
-        threshold=args.threshold,
-        absolute=args.absolute,
-        update_baseline=args.update_baseline,
-        meta=meta,
-    )
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.baseline is not None and len(suites) != 1:
+        print("--baseline requires a single --suite", file=sys.stderr)
+        return EXIT_USAGE
+    if args.out is not None and len(suites) != 1:
+        print("--out requires a single --suite", file=sys.stderr)
+        return EXIT_USAGE
+
+    worst = 0
+    for name in suites:
+        module, baseline = SUITES[name]
+        if args.baseline is not None:
+            baseline = args.baseline
+        results = module.collect_results(
+            rounds=args.rounds, warmup=args.warmup, tiny=args.tiny
+        )
+        module.print_results(results)
+        meta = {
+            "bench": name,
+            "rounds": args.rounds,
+            "warmup": args.warmup,
+            "tiny": args.tiny,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+        if args.out:
+            write_bench_json(args.out, results, meta=meta)
+        code = run_gate(
+            results,
+            baseline,
+            threshold=args.threshold,
+            absolute=args.absolute,
+            update_baseline=args.update_baseline,
+            meta=meta,
+        )
+        worst = max(worst, code)
+    return worst
 
 
 if __name__ == "__main__":

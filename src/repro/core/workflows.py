@@ -45,6 +45,7 @@ from repro.distributed import (
     EventLog,
     FaultInjector,
     FaultProfile,
+    ShardedAdamW,
     SimClock,
     SimComm,
     SingleProcessStrategy,
@@ -177,21 +178,6 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
 
     opt_cfg = config.optimizer
     target_lr = scale_lr_for_ddp(opt_cfg.base_lr, config.world_size)
-    optimizer = AdamW(
-        task.parameters(),
-        lr=target_lr,
-        betas=opt_cfg.betas,
-        eps=opt_cfg.eps,
-        weight_decay=opt_cfg.weight_decay,
-        amsgrad=opt_cfg.amsgrad,
-        update_clip=opt_cfg.update_clip,
-    )
-    scheduler = WarmupExponential(
-        optimizer,
-        warmup_epochs=opt_cfg.warmup_epochs,
-        gamma=opt_cfg.gamma,
-        target_lr=target_lr,
-    )
 
     events: Optional[EventLog] = None
     recovery: Optional[RecoveryConfig] = None
@@ -216,7 +202,11 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
         )
         comm = SimComm(config.world_size, injector=injector)
         strategy = DDPStrategy(
-            config.world_size, comm=comm, elastic=(config.on_fault == "elastic")
+            config.world_size,
+            comm=comm,
+            elastic=(config.on_fault == "elastic"),
+            bucket_bytes=config.bucket_bytes if config.zero else None,
+            shard_optimizer=config.zero,
         )
         if config.on_fault == "recover":
             ckpt_dir = config.checkpoint_dir
@@ -227,12 +217,53 @@ def pretrain_symmetry(config: PretrainConfig) -> PretrainResult:
             recovery = RecoveryConfig(
                 checkpoint_dir=ckpt_dir, checkpoint_every_n_steps=1, events=events
             )
+    elif config.zero:
+        # ZeRO sharding always runs the (bucketed) DDP strategy, even at
+        # world_size 1: the bucket collectives degrade to identity there.
+        strategy = DDPStrategy(
+            config.world_size,
+            bucket_bytes=config.bucket_bytes,
+            shard_optimizer=True,
+        )
     else:
         strategy = (
             DDPStrategy(config.world_size)
             if config.world_size > 1
             else SingleProcessStrategy()
         )
+
+    if config.zero:
+        if opt_cfg.update_clip is not None:
+            raise ValueError(
+                "update_clip (StableAdamW) is not supported with ZeRO sharding: "
+                "the per-tensor update RMS is not shard-local"
+            )
+        optimizer = ShardedAdamW(
+            task.parameters(),
+            lr=target_lr,
+            betas=opt_cfg.betas,
+            eps=opt_cfg.eps,
+            weight_decay=opt_cfg.weight_decay,
+            amsgrad=opt_cfg.amsgrad,
+            comm=strategy.comm,
+            bucket_bytes=config.bucket_bytes,
+        )
+    else:
+        optimizer = AdamW(
+            task.parameters(),
+            lr=target_lr,
+            betas=opt_cfg.betas,
+            eps=opt_cfg.eps,
+            weight_decay=opt_cfg.weight_decay,
+            amsgrad=opt_cfg.amsgrad,
+            update_clip=opt_cfg.update_clip,
+        )
+    scheduler = WarmupExponential(
+        optimizer,
+        warmup_epochs=opt_cfg.warmup_epochs,
+        gamma=opt_cfg.gamma,
+        target_lr=target_lr,
+    )
     guard: Optional[StabilityGuard] = None
     if config.stability_guard:
         if events is None:

@@ -24,6 +24,11 @@ process:
   failure-aware variant with Young/Daly checkpoint-cadence accounting.
 * :mod:`repro.distributed.affinity` — the NUMA-domain worker-placement
   policy from Sec. 4.1 (map-by-NUMA, pin-to-core, 16 workers/node).
+* :mod:`repro.distributed.sharding` — ZeRO-style gradient bucketing
+  (fixed-byte flat buckets reduced via ``reduce_scatter``/``allgather``)
+  and optimizer-state sharding (``ShardedAdam``/``ShardedAdamW``, bit-
+  identical to dense Adam in no-fault runs), plus bfloat16 payload-
+  compression emulation with a bounded round-trip error.
 """
 
 from repro.distributed.comm import SimComm, TrafficLog
@@ -44,13 +49,37 @@ from repro.distributed.perf_model import (
     InterconnectSpec,
     ClusterSpec,
     ENDEAVOUR,
+    BucketedThroughputModel,
     FailureAwareThroughputModel,
     FailureSpec,
+    ShardingSpec,
     ThroughputModel,
 )
 from repro.distributed.affinity import AffinityPlanner, WorkerPlacement
+from repro.distributed.sharding import (
+    BF16_RELATIVE_ERROR_BOUND,
+    Bucket,
+    BucketSegment,
+    GradientBucketer,
+    ShardedAdam,
+    ShardedAdamW,
+    bf16_compress,
+    bf16_decompress,
+    bf16_roundtrip,
+    bf16_roundtrip_error,
+)
 
 __all__ = [
+    "BF16_RELATIVE_ERROR_BOUND",
+    "Bucket",
+    "BucketSegment",
+    "GradientBucketer",
+    "ShardedAdam",
+    "ShardedAdamW",
+    "bf16_compress",
+    "bf16_decompress",
+    "bf16_roundtrip",
+    "bf16_roundtrip_error",
     "SimComm",
     "TrafficLog",
     "Strategy",
@@ -71,8 +100,10 @@ __all__ = [
     "InterconnectSpec",
     "ClusterSpec",
     "ENDEAVOUR",
+    "BucketedThroughputModel",
     "FailureAwareThroughputModel",
     "FailureSpec",
+    "ShardingSpec",
     "ThroughputModel",
     "AffinityPlanner",
     "WorkerPlacement",

@@ -116,11 +116,31 @@ class DDPStrategy(Strategy):
         ``comm.allreduce`` explicitly (slower; used by the equivalence
         tests).  The default fast path exploits in-place accumulation,
         which produces bit-identical averages, and meters the same bytes.
-        A fault injector on the communicator forces the explicit path.
+        A fault injector on the communicator forces the explicit path, and
+        so does bucketing (``bucket_bytes``).
     elastic:
         When True (default), a rank crash shrinks the world and the step
         re-executes on the survivors; when False it raises
         :class:`StepFailure` for the trainer to recover from a checkpoint.
+    bucket_bytes:
+        When set, gradients are packed into fixed-byte flat buckets
+        (:class:`~repro.distributed.sharding.GradientBucketer`) and
+        reduced per bucket via ``comm.reduce_scatter`` — O(buckets)
+        messages per step instead of O(tensors).  Reductions use the same
+        ``mean`` arithmetic as the per-parameter allreduce, so results
+        are bit-identical in no-fault runs.
+    shard_optimizer:
+        ZeRO mode: gradients stay reduce-scattered (each rank owns one
+        shard) and the *optimizer* performs the second ring half as a
+        parameter allgather after stepping its shard — pair with
+        :class:`~repro.distributed.sharding.ShardedAdam` built with the
+        same ``bucket_bytes``.  When False, the strategy allgathers the
+        reduced gradients itself so any dense optimizer works.
+    compress:
+        ``"bf16"`` rounds bucket payloads through the emulated bfloat16
+        wire format (quarter the fp64 bytes on the wire, bounded
+        quantization error — see ``bf16_roundtrip``).  Not bit-identical
+        to dense by construction; None (default) transmits full precision.
     """
 
     def __init__(
@@ -130,15 +150,29 @@ class DDPStrategy(Strategy):
         collate_fn: Callable = collate_graphs,
         track_per_rank: bool = False,
         elastic: bool = True,
+        bucket_bytes: Optional[int] = None,
+        shard_optimizer: bool = False,
+        compress: Optional[str] = None,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if bucket_bytes is not None and bucket_bytes < 1:
+            raise ValueError(f"bucket_bytes must be >= 1, got {bucket_bytes}")
+        if shard_optimizer and bucket_bytes is None:
+            raise ValueError("shard_optimizer requires bucket_bytes")
+        if compress not in (None, "bf16"):
+            raise ValueError(f"unsupported compression {compress!r}")
         self.world_size = world_size
         self.initial_world_size = world_size
         self.comm = comm if comm is not None else SimComm(world_size)
         self.collate_fn = collate_fn
         self.track_per_rank = track_per_rank
         self.elastic = elastic
+        self.bucket_bytes = bucket_bytes
+        self.shard_optimizer = shard_optimizer
+        self.compress = compress
+        self._bucketer = None
+        self._bucketer_key = None
         self._pending_lr_scale = 1.0
 
     # ------------------------------------------------------------------ #
@@ -208,10 +242,56 @@ class DDPStrategy(Strategy):
                     "allreduce retry budget exhausted", cause=timeout
                 ) from timeout
 
+    def _get_bucketer(self, params: List):
+        """The cached bucket layout (rebuilt if the parameter set changes)."""
+        from repro.distributed.sharding import GradientBucketer
+
+        key = tuple(id(p) for p in params)
+        if self._bucketer is None or self._bucketer_key != key:
+            self._bucketer = GradientBucketer(params, bucket_bytes=self.bucket_bytes)
+            self._bucketer_key = key
+        return self._bucketer
+
+    def _reduce_bucketed(
+        self, params: List, per_rank_grads: List[List[np.ndarray]]
+    ) -> None:
+        """Bucketed gradient reduction: reduce_scatter (+ allgather) per bucket.
+
+        Leaves the averaged gradient on every parameter.  With
+        ``shard_optimizer`` the gradient allgather is skipped on the wire
+        — the sharded optimizer's parameter allgather is the second ring
+        half — but the simulation still materializes full gradients (each
+        rank's shard is bit-identical, so assembling them locally is free).
+        """
+        from repro.distributed.sharding import bf16_roundtrip
+
+        bucketer = self._get_bucketer(params)
+        for bucket in bucketer.buckets:
+            flats = [
+                bucketer.flatten_grads(bucket, grads) for grads in per_rank_grads
+            ]
+            wire_bytes = None
+            if self.compress == "bf16":
+                flats = [bf16_roundtrip(f) for f in flats]
+                wire_bytes = bucket.size * 2  # bf16 = 2 bytes/element
+            shards = self.comm.reduce_scatter(flats, op="mean", wire_bytes=wire_bytes)
+            if self.shard_optimizer:
+                full = np.concatenate(shards) if len(shards) > 1 else shards[0]
+            else:
+                full = self.comm.allgather_flat(shards, wire_bytes=wire_bytes)[0]
+            bucketer.assign_grads(bucket, full)
+        for i, p in enumerate(params):
+            if all(grads[i] is None for grads in per_rank_grads):
+                p.grad = None
+
     def _execute_once(self, task, samples: Sequence) -> Tuple[float, dict]:
         shards = self.shard(samples)
         params = list(task.parameters())
-        explicit = self.track_per_rank or self.comm.injector is not None
+        explicit = (
+            self.track_per_rank
+            or self.comm.injector is not None
+            or self.bucket_bytes is not None
+        )
 
         if explicit:
             per_rank_grads: List[List[np.ndarray]] = []
@@ -225,19 +305,32 @@ class DDPStrategy(Strategy):
                     loss, m = task.training_step(batch)
                 with _span(self.tracer, "backward", rank=rank):
                     loss.backward()
-                per_rank_grads.append(
-                    [
-                        p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
-                        for p in params
-                    ]
-                )
+                if self.bucket_bytes is not None:
+                    # The bucketer packs missing grads as zeros on the wire
+                    # but None-ness is preserved so parameters unused on
+                    # every rank keep grad=None — dense Adam skips those
+                    # entirely (no moments, no weight decay), and sharded
+                    # runs must be bit-identical to it.
+                    per_rank_grads.append(
+                        [p.grad.copy() if p.grad is not None else None for p in params]
+                    )
+                else:
+                    per_rank_grads.append(
+                        [
+                            p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+                            for p in params
+                        ]
+                    )
                 losses.append(float(loss.data))
                 metrics = m
-            for i, p in enumerate(params):
-                reduced = self.comm.allreduce(
-                    [g[i] for g in per_rank_grads], op="mean"
-                )
-                p.grad = reduced[0]
+            if self.bucket_bytes is not None:
+                self._reduce_bucketed(params, per_rank_grads)
+            else:
+                for i, p in enumerate(params):
+                    reduced = self.comm.allreduce(
+                        [g[i] for g in per_rank_grads], op="mean"
+                    )
+                    p.grad = reduced[0]
             self.last_rank_losses = list(losses)
             return float(np.mean(losses)), metrics
 

@@ -239,6 +239,181 @@ class FailureAwareThroughputModel:
         return rows
 
 
+# --------------------------------------------------------------------------- #
+# Bucketed / ZeRO communication model
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardingSpec:
+    """Communication-relevant shape of a ZeRO-sharded step.
+
+    ``num_tensors`` is the parameter-tensor count — the dense baseline
+    launches one allreduce per tensor, which is what bucketing amortises.
+    ``element_bytes`` is the in-memory gradient dtype width (the simulator
+    carries float64); with ``compress="bf16"`` the wire carries two bytes
+    per element instead.
+    """
+
+    bucket_bytes: int = 4 << 20
+    num_tensors: int = 1
+    element_bytes: int = 8
+    compress: str = ""  # "" | "bf16"
+
+    def __post_init__(self):
+        if self.bucket_bytes < 1:
+            raise ValueError("bucket_bytes must be >= 1")
+        if self.num_tensors < 1:
+            raise ValueError("num_tensors must be >= 1")
+        if self.compress not in ("", "bf16"):
+            raise ValueError(f"compress must be '' or 'bf16', got {self.compress!r}")
+
+    @property
+    def wire_factor(self) -> float:
+        """Bytes-on-wire per in-memory byte (bf16 packs 8-byte floats to 2)."""
+        return 2.0 / self.element_bytes if self.compress == "bf16" else 1.0
+
+
+class BucketedThroughputModel:
+    """Step-time projection for bucketed reduce_scatter/allgather gradients.
+
+    Extends :class:`ThroughputModel` with the two effects the sharding
+    stack introduces:
+
+    * **Latency amortisation** — the dense baseline launches one allreduce
+      per parameter tensor, paying the full ``2 (M-1)`` hop latency each
+      time; bucketing launches ``2 x num_buckets`` collectives (one
+      reduce-scatter plus one allgather per bucket) over the same total
+      payload.
+    * **Compute/comm overlap** — bucket *i*'s collective runs while bucket
+      *i+1*'s backward chunk is still being computed, so only the comm
+      tail that outlives the backward pass is exposed:
+      ``comm_end_i = max(comm_end_{i-1}, ready_{i}) + comm_i`` with
+      ``ready_i = (i+1) * bwd_seconds / num_buckets``.
+
+    ZeRO optimizer-state sharding does not change the modeled wire volume
+    (the gradient allgather is traded for the parameter allgather) but
+    divides optimizer state across ranks; ``optimizer_state_bytes``
+    reports that footprint.
+    """
+
+    #: Fraction of a training step spent in backward — the window gradient
+    #: buckets become ready in.  Forward + optimizer fill the rest.
+    backward_fraction: float = 0.6
+
+    def __init__(self, base: ThroughputModel, sharding: ShardingSpec):
+        self.base = base
+        self.sharding = sharding
+        self.num_buckets = max(
+            1, math.ceil(base.gradient_bytes / sharding.bucket_bytes)
+        )
+
+    # ------------------------------------------------------------------ #
+    def _nodes(self, world_size: int) -> int:
+        return max(1, math.ceil(world_size / self.base.cluster.node.workers))
+
+    def _half_collective_seconds(self, payload_bytes: float, world_size: int) -> float:
+        """One ring half (reduce-scatter *or* allgather) over the fabric."""
+        nodes = self._nodes(world_size)
+        intra = 1e-5
+        if world_size <= 1:
+            return 0.0
+        if nodes == 1:
+            return intra
+        bw = self.base.cluster.interconnect.bandwidth_gbs * 1e9
+        lat = self.base.cluster.interconnect.latency_us * 1e-6
+        ring = (nodes - 1) / nodes * payload_bytes / bw
+        return intra + ring + (nodes - 1) * lat
+
+    # ------------------------------------------------------------------ #
+    def messages_per_step(self) -> int:
+        """Collective launches per step: reduce-scatter + allgather per bucket."""
+        return 2 * self.num_buckets
+
+    def dense_messages_per_step(self) -> int:
+        """The per-tensor baseline: one allreduce launch per parameter."""
+        return self.sharding.num_tensors
+
+    def bytes_on_wire(self, world_size: int) -> float:
+        """Per-step inter-node bytes (both ring halves, compression applied)."""
+        nodes = self._nodes(world_size)
+        if nodes == 1:
+            return 0.0
+        payload = self.base.gradient_bytes * self.sharding.wire_factor
+        return 2.0 * (nodes - 1) / nodes * payload * nodes
+
+    def comm_seconds(self, world_size: int) -> float:
+        """Total (un-overlapped) collective time across all buckets."""
+        per_bucket = (
+            self.base.gradient_bytes / self.num_buckets * self.sharding.wire_factor
+        )
+        return 2.0 * self.num_buckets * self._half_collective_seconds(
+            per_bucket, world_size
+        )
+
+    def exposed_comm_seconds(self, world_size: int) -> float:
+        """Comm time left on the critical path after backward overlap."""
+        compute = self.base.batch / self.base.rate
+        bwd = self.backward_fraction * compute
+        chunk = bwd / self.num_buckets
+        per_bucket = (
+            self.base.gradient_bytes / self.num_buckets * self.sharding.wire_factor
+        )
+        half = self._half_collective_seconds(per_bucket, world_size)
+        comm_end = 0.0
+        for i in range(self.num_buckets):
+            ready = (i + 1) * chunk  # bucket i's grads exist once its chunk ends
+            comm_end = max(comm_end, ready) + 2.0 * half
+        return max(0.0, comm_end - bwd)
+
+    def step_seconds(self, world_size: int) -> float:
+        compute = self.base.batch / self.base.rate
+        return compute + self.exposed_comm_seconds(world_size)
+
+    def dense_step_seconds(self, world_size: int) -> float:
+        """Per-tensor-allreduce baseline: no bucketing, no overlap."""
+        compute = self.base.batch / self.base.rate
+        per_tensor = self.base.gradient_bytes / self.sharding.num_tensors
+        comm = self.sharding.num_tensors * 2.0 * self._half_collective_seconds(
+            per_tensor, world_size
+        )
+        return compute + comm
+
+    def samples_per_second(self, world_size: int) -> float:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        return world_size * self.base.batch / self.step_seconds(world_size)
+
+    def modeled_speedup(self, world_size: int) -> float:
+        """Dense per-tensor step time over bucketed/overlapped step time."""
+        return self.dense_step_seconds(world_size) / self.step_seconds(world_size)
+
+    # ------------------------------------------------------------------ #
+    def optimizer_state_bytes(self, world_size: int, sharded: bool = True,
+                              entries_per_param: int = 2) -> int:
+        """Adam m/v footprint per rank: divided by world when ZeRO-sharded."""
+        total = entries_per_param * self.base.gradient_bytes
+        if not sharded or world_size <= 1:
+            return total
+        return math.ceil(total / world_size)
+
+    def sweep(self, world_sizes: List[int]) -> List[Dict[str, float]]:
+        rows = []
+        for n in world_sizes:
+            rows.append(
+                {
+                    "workers": n,
+                    "num_buckets": self.num_buckets,
+                    "messages": self.messages_per_step(),
+                    "dense_messages": self.dense_messages_per_step(),
+                    "bytes_on_wire": self.bytes_on_wire(n),
+                    "step_seconds": self.step_seconds(n),
+                    "dense_step_seconds": self.dense_step_seconds(n),
+                    "modeled_speedup": self.modeled_speedup(n),
+                    "state_bytes_per_rank": self.optimizer_state_bytes(n),
+                }
+            )
+        return rows
+
+
 def linear_fit_r2(xs: List[float], ys: List[float]) -> float:
     """R^2 of a least-squares line — the paper overlays a linear fit on Fig. 2."""
     import numpy as np

@@ -73,6 +73,10 @@ class Observer:
             for key, value in (
                 ("comm.allreduce.calls", t.allreduce_calls),
                 ("comm.allreduce.bytes", t.allreduce_bytes),
+                ("comm.bucket.reduce_scatter.calls", t.reduce_scatter_calls),
+                ("comm.bucket.reduce_scatter.bytes", t.reduce_scatter_bytes),
+                ("comm.bucket.allgather.calls", t.allgather_calls),
+                ("comm.bucket.allgather.bytes", t.allgather_bytes),
                 ("comm.retry.calls", t.retry_calls),
                 ("comm.retry.bytes", t.retry_bytes),
             ):
@@ -153,6 +157,10 @@ class MetricsReporter(Callback):
         for key, value in (
             ("comm.allreduce.calls", t.allreduce_calls),
             ("comm.allreduce.bytes", t.allreduce_bytes),
+            ("comm.bucket.reduce_scatter.calls", t.reduce_scatter_calls),
+            ("comm.bucket.reduce_scatter.bytes", t.reduce_scatter_bytes),
+            ("comm.bucket.allgather.calls", t.allgather_calls),
+            ("comm.bucket.allgather.bytes", t.allgather_bytes),
             ("comm.retry.calls", t.retry_calls),
             ("comm.retry.bytes", t.retry_bytes),
         ):

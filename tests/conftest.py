@@ -23,6 +23,8 @@ MARKERS = [
     "-m 'not slow'",
     "bench: benchmark-gate integrations that time real workloads; select "
     "with -m bench",
+    "shard: ZeRO sharding scenarios (bucketed collectives, sharded optimizer "
+    "state, bit-identity); select with -m shard",
 ]
 
 

@@ -15,11 +15,12 @@ order-dependent reductions) breaks this test.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data.batching import collate_graphs
 from repro.data.transforms import StructureToGraph
 from repro.datasets import SymmetryPointCloudDataset
-from repro.distributed import DDPStrategy
+from repro.distributed import DDPStrategy, ShardedAdamW
 from repro.models import EGNN
 from repro.optim import AdamW
 from repro.tasks import MultiClassClassificationTask
@@ -88,6 +89,25 @@ def _train_single_accumulating(task, batches):
     return losses
 
 
+def _train_sharded(task, batches, bucket_bytes):
+    """ZeRO path: bucketed reduce_scatter gradients + sharded AdamW state."""
+    strategy = DDPStrategy(WORLD, bucket_bytes=bucket_bytes, shard_optimizer=True)
+    optimizer = ShardedAdamW(
+        task.parameters(),
+        lr=3e-3,
+        weight_decay=1e-4,
+        comm=strategy.comm,
+        bucket_bytes=bucket_bytes,
+    )
+    losses = []
+    for batch in batches:
+        optimizer.zero_grad()
+        loss, _ = strategy.execute(task, batch)
+        optimizer.step()
+        losses.append(loss)
+    return losses
+
+
 class TestDDPDeterminism:
     def test_params_bit_identical_after_five_steps(self):
         task_ddp, task_single = _make_task(), _make_task()
@@ -128,3 +148,48 @@ class TestDDPDeterminism:
             for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters())
         ]
         assert any(diffs)
+
+
+@pytest.mark.shard
+class TestShardedDeterminism:
+    """ZeRO sharding is a pure reshuffling too: same bits as one rank."""
+
+    def test_sharded_four_ranks_match_dense_single_rank(self):
+        task_sharded, task_single = _make_task(), _make_task()
+        losses_sharded = _train_sharded(task_sharded, _make_batches(), 1 << 20)
+        losses_single = _train_single_accumulating(task_single, _make_batches())
+
+        for (name, a), (_, b) in zip(
+            task_sharded.named_parameters(), task_single.named_parameters()
+        ):
+            assert np.array_equal(a.data, b.data), (
+                f"{name}: max |delta| = "
+                f"{np.max(np.abs(a.data - b.data)):.3e} after {STEPS} steps"
+            )
+        assert losses_sharded == losses_single
+
+    def test_bucket_bytes_never_changes_results(self):
+        """Tiny, exact-fit, and huge buckets all leave the same bits.
+
+        Bucket geometry decides message counts, never values: one bucket
+        per parameter (tiny), one bucket holding exactly every gradient
+        byte (exact fit), and one effectively unbounded bucket must agree
+        bit-for-bit.
+        """
+        probe = _make_task()
+        exact_fit = sum(p.data.nbytes for p in probe.parameters())
+        runs = {}
+        for label, bucket_bytes in (
+            ("tiny", 1),
+            ("exact_fit", exact_fit),
+            ("huge", 1 << 30),
+        ):
+            task = _make_task()
+            losses = _train_sharded(task, _make_batches(), bucket_bytes)
+            runs[label] = (losses, [p.data.copy() for p in task.parameters()])
+
+        ref_losses, ref_params = runs["exact_fit"]
+        for label, (losses, params) in runs.items():
+            assert losses == ref_losses, label
+            for i, (a, b) in enumerate(zip(params, ref_params)):
+                assert np.array_equal(a, b), f"{label}: param {i}"

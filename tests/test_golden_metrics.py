@@ -86,6 +86,37 @@ class TestGoldenPretrain:
         assert loss == pytest.approx(GOLDEN_PRETRAIN_TRAIN_LOSS, abs=TOL)
 
 
+@pytest.mark.shard
+class TestGoldenPretrainZero:
+    """The ``--zero`` variant must reproduce the *dense* goldens exactly.
+
+    ZeRO sharding (bucketed reduce_scatter gradients + rank-sharded AdamW
+    state) is a pure re-layout of the same arithmetic, so it is pinned to
+    the same constants as the dense run — not to separately captured
+    values.  A drift here means the sharded path stopped being
+    bit-identical.
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = _pretrain_config()
+        config.zero = True
+        config.bucket_mb = 0.25
+        return pretrain_symmetry(config)
+
+    def test_final_val_cross_entropy(self, result):
+        ce = result.history.last("val", "ce")
+        assert ce == pytest.approx(GOLDEN_PRETRAIN_VAL_CE, abs=TOL)
+
+    def test_final_val_accuracy(self, result):
+        acc = result.history.last("val", "acc")
+        assert acc == pytest.approx(GOLDEN_PRETRAIN_VAL_ACC, abs=TOL)
+
+    def test_final_train_loss(self, result):
+        loss = result.history.last("train", "loss")
+        assert loss == pytest.approx(GOLDEN_PRETRAIN_TRAIN_LOSS, abs=TOL)
+
+
 class TestGoldenFinetune:
     @pytest.fixture(scope="class")
     def result(self):

@@ -1,0 +1,376 @@
+"""Property tests for the ZeRO sharding stack.
+
+Three layers are swept with randomized geometry:
+
+* the bucket partition — random shapes/dtypes/bucket sizes must always
+  produce a disjoint exact cover of every parameter element;
+* the bucket collectives — reduce_scatter composed with allgather_flat
+  must equal allreduce elementwise, and fault-injected runs must retry
+  to the *same bits* as healthy ones;
+* the sharded optimizer — ShardedAdam(W) must be bit-identical to dense
+  Adam(W) at every world size, including amsgrad, and the wasted-byte
+  accounting under a seeded fault profile is pinned exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.distributed import (
+    BF16_RELATIVE_ERROR_BOUND,
+    GradientBucketer,
+    ShardedAdam,
+    ShardedAdamW,
+    SimComm,
+    bf16_compress,
+    bf16_decompress,
+    bf16_roundtrip,
+    bf16_roundtrip_error,
+)
+from repro.distributed.events import EventLog, SimClock
+from repro.distributed.faults import FaultInjector, FaultProfile
+from repro.optim import Adam, AdamW
+
+pytestmark = pytest.mark.shard
+
+
+def _random_params(rng, count=None, dtypes=(np.float64,)):
+    count = count if count is not None else int(rng.integers(3, 12))
+    params = []
+    for _ in range(count):
+        ndim = int(rng.integers(1, 4))
+        shape = tuple(int(rng.integers(1, 9)) for _ in range(ndim))
+        dtype = dtypes[int(rng.integers(0, len(dtypes)))]
+        params.append(
+            Tensor(rng.normal(size=shape).astype(dtype), requires_grad=True)
+        )
+    return params
+
+
+def _faulty_comm(world, profile, seed=0, horizon=64):
+    clock = SimClock()
+    events = EventLog(clock)
+    injector = FaultInjector(
+        FaultProfile.parse(profile), world, seed=seed, horizon=horizon,
+        events=events, clock=clock,
+    )
+    return SimComm(world, injector=injector)
+
+
+# --------------------------------------------------------------------------- #
+# Bucket partition properties
+# --------------------------------------------------------------------------- #
+class TestBucketPartition:
+    def test_random_shapes_exact_disjoint_cover(self):
+        rng = np.random.default_rng(101)
+        for trial in range(25):
+            params = _random_params(rng, dtypes=(np.float64, np.float32))
+            bucket_bytes = int(rng.integers(1, 2048))
+            b = GradientBucketer(params, bucket_bytes=bucket_bytes)
+
+            # Every parameter appears exactly once, with its full element
+            # count, in a bucket of its own dtype.
+            seen = {}
+            for bucket in b.buckets:
+                offset = 0
+                for seg in bucket.segments:
+                    assert seg.offset == offset, "segments must tile contiguously"
+                    offset += seg.size
+                    assert seg.param_index not in seen
+                    seen[seg.param_index] = seg
+                    p = params[seg.param_index]
+                    assert seg.size == p.data.size
+                    assert seg.shape == p.data.shape
+                    assert bucket.dtype == p.data.dtype
+                assert offset == bucket.size
+            assert sorted(seen) == list(range(len(params))), trial
+            assert b.total_elements() == sum(p.data.size for p in params)
+
+    def test_buckets_respect_byte_cap_unless_single_tensor(self):
+        rng = np.random.default_rng(103)
+        for _ in range(25):
+            params = _random_params(rng)
+            cap = int(rng.integers(64, 1024))
+            for bucket in GradientBucketer(params, bucket_bytes=cap).buckets:
+                assert bucket.nbytes <= cap or len(bucket.segments) == 1
+
+    def test_partition_is_deterministic(self):
+        rng = np.random.default_rng(107)
+        params = _random_params(rng, count=9, dtypes=(np.float64, np.float32))
+        a = GradientBucketer(params, bucket_bytes=300)
+        b = GradientBucketer(params, bucket_bytes=300)
+        assert [bk.segments for bk in a.buckets] == [bk.segments for bk in b.buckets]
+
+    def test_shard_bounds_exact_cover(self):
+        rng = np.random.default_rng(109)
+        for _ in range(50):
+            n = int(rng.integers(0, 200))
+            world = int(rng.integers(1, 12))
+            bounds = SimComm.shard_bounds(n, world)
+            assert len(bounds) == world
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            for (alo, ahi), (blo, bhi) in zip(bounds, bounds[1:]):
+                assert ahi == blo  # adjacent, disjoint
+                assert ahi - alo >= bhi - blo >= 0  # leading ranks own the +1
+
+    def test_flatten_assign_roundtrip(self):
+        rng = np.random.default_rng(113)
+        params = _random_params(rng, count=6)
+        b = GradientBucketer(params, bucket_bytes=256)
+        originals = [p.data.copy() for p in params]
+        for bucket in b.buckets:
+            b.assign_params(bucket, b.flatten_params(bucket))
+        for p, orig in zip(params, originals):
+            assert np.array_equal(p.data, orig)
+
+
+# --------------------------------------------------------------------------- #
+# Collective properties
+# --------------------------------------------------------------------------- #
+class TestBucketCollectives:
+    @pytest.mark.parametrize("op", ["sum", "mean"])
+    def test_reduce_scatter_allgather_equals_allreduce(self, op):
+        rng = np.random.default_rng(211)
+        for world in (1, 2, 3, 5, 8):
+            comm = SimComm(world)
+            values = [rng.normal(size=37) for _ in range(world)]
+            shards = comm.reduce_scatter(values, op=op)
+            gathered = comm.allgather_flat(shards)
+            reference = comm.allreduce(values, op=op)
+            for rank in range(world):
+                assert np.array_equal(gathered[rank], reference[rank]), (
+                    f"world={world} rank={rank}"
+                )
+
+    def test_shards_are_disjoint_slices_of_the_reduction(self):
+        rng = np.random.default_rng(223)
+        world = 4
+        comm = SimComm(world)
+        values = [rng.normal(size=18) for _ in range(world)]
+        shards = comm.reduce_scatter(values, op="sum")
+        full = np.sum(values, axis=0)
+        bounds = SimComm.shard_bounds(18, world)
+        for (lo, hi), shard in zip(bounds, shards):
+            assert np.array_equal(shard, full[lo:hi])
+
+    def test_fault_injected_retry_converges_to_same_bits(self):
+        """Timeouts and corruptions burn retries, never change results."""
+        rng = np.random.default_rng(227)
+        world = 4
+        healthy = SimComm(world)
+        faulty = _faulty_comm(world, "timeout:2,corrupt:2", seed=3, horizon=16)
+        for call in range(8):
+            values = [rng.normal(size=29) for _ in range(world)]
+            h_shards = healthy.reduce_scatter(values, op="mean")
+            f_shards = faulty.reduce_scatter(values, op="mean")
+            for h, f in zip(h_shards, f_shards):
+                assert np.array_equal(h, f), f"call {call}"
+            h_full = healthy.allgather_flat(h_shards)
+            f_full = faulty.allgather_flat(f_shards)
+            for h, f in zip(h_full, f_full):
+                assert np.array_equal(h, f), f"call {call}"
+        assert faulty.traffic.retry_calls > 0  # the profile actually fired
+        assert faulty.events.summary().get("retry", 0) > 0
+
+    def test_reduce_scatter_rejects_ragged_input(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.reduce_scatter([np.zeros(4), np.zeros(5)])
+
+
+# --------------------------------------------------------------------------- #
+# Traffic accounting: useful vs wasted bytes
+# --------------------------------------------------------------------------- #
+class TestTrafficAccounting:
+    def test_wasted_bytes_pinned_under_seeded_faults(self):
+        """Regression pin: the seeded profile wastes exactly one ring half
+        per injected fault, metered to retry_* and never to useful bytes."""
+        world = 4
+        n = 64
+        payload = n * 8  # float64
+        per_pass = int((world - 1) / world * payload * world)  # one ring half
+        faulty = _faulty_comm(world, "timeout:2,corrupt:1", seed=0, horizon=8)
+        rng = np.random.default_rng(229)
+        calls = 8
+        for _ in range(calls):
+            faulty.reduce_scatter(
+                [rng.normal(size=n) for _ in range(world)], op="mean"
+            )
+        t = faulty.traffic
+        # Timeouts and corruptions fire on the first attempt only, so each
+        # of the 3 planned faults wastes exactly one failed pass.
+        assert t.retry_calls == 3
+        assert t.retry_bytes == 3 * per_pass
+        assert t.wasted_bytes == t.retry_bytes
+        # Useful traffic is unaffected by the retries.
+        assert t.reduce_scatter_calls == calls
+        assert t.reduce_scatter_bytes == calls * per_pass
+        assert t.useful_bytes == calls * per_pass
+
+    def test_ragged_shard_metering_sums_elements(self):
+        """_nbytes regression: ragged per-rank shards meter their true
+        bytes, not an object-array pointer size or a ValueError."""
+        world = 3
+        n = 17  # shards of 6, 6, 5 — ragged
+        comm = SimComm(world)
+        shards = comm.reduce_scatter([np.zeros(n) for _ in range(world)])
+        assert [s.size for s in shards] == [6, 6, 5]
+        comm.traffic.reset()
+        comm.allgather_flat(shards)
+        expected = int((world - 1) / world * n * 8 * world)
+        assert comm.traffic.allgather_bytes == expected
+        # And the helper itself on a ragged list:
+        assert SimComm._nbytes([np.zeros(6), np.zeros(5)]) == 11 * 8
+
+    def test_wire_bytes_override_meters_compressed_payload(self):
+        world = 2
+        comm = SimComm(world)
+        comm.reduce_scatter(
+            [np.zeros(16) for _ in range(world)], wire_bytes=16 * 2
+        )
+        assert comm.traffic.reduce_scatter_bytes == int(
+            (world - 1) / world * 16 * 2 * world
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Sharded optimizer bit-identity
+# --------------------------------------------------------------------------- #
+class TestShardedAdamBitIdentity:
+    @pytest.mark.parametrize("world", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize(
+        "sharded_cls,dense_cls,kwargs",
+        [
+            (ShardedAdam, Adam, dict(weight_decay=0.0)),
+            (ShardedAdam, Adam, dict(weight_decay=1e-2)),
+            (ShardedAdamW, AdamW, dict(weight_decay=1e-2)),
+            (ShardedAdamW, AdamW, dict(weight_decay=1e-2, amsgrad=True)),
+        ],
+    )
+    def test_five_steps_bit_identical_to_dense(
+        self, world, sharded_cls, dense_cls, kwargs
+    ):
+        rng = np.random.default_rng(307)
+        shapes = [(7, 3), (11,), (2, 5, 4), (1,), (6, 6)]
+        sharded_params = [
+            Tensor(rng.normal(size=s), requires_grad=True) for s in shapes
+        ]
+        dense_params = [
+            Tensor(p.data.copy(), requires_grad=True) for p in sharded_params
+        ]
+        sharded = sharded_cls(
+            sharded_params, lr=2e-3, comm=SimComm(world), bucket_bytes=200, **kwargs
+        )
+        dense = dense_cls(dense_params, lr=2e-3, **kwargs)
+        assert sharded.bucketer.num_buckets > 1  # the cap actually splits
+
+        for step in range(5):
+            grng = np.random.default_rng(1000 + step)
+            for a, b in zip(sharded_params, dense_params):
+                g = grng.normal(size=a.shape)
+                a.grad = g.copy()
+                b.grad = g.copy()
+            sharded.step()
+            dense.step()
+            for i, (a, b) in enumerate(zip(sharded_params, dense_params)):
+                assert np.array_equal(a.data, b.data), (
+                    f"world={world} step={step} param={i}"
+                )
+
+    def test_none_grads_skipped_like_dense(self):
+        rng = np.random.default_rng(311)
+        a_params = [Tensor(rng.normal(size=(4, 4)), requires_grad=True) for _ in range(3)]
+        b_params = [Tensor(p.data.copy(), requires_grad=True) for p in a_params]
+        sharded = ShardedAdamW(a_params, lr=1e-2, comm=SimComm(3), bucket_bytes=64)
+        dense = AdamW(b_params, lr=1e-2)
+        g = rng.normal(size=(4, 4))
+        a_params[0].grad = g.copy()
+        b_params[0].grad = g.copy()  # params 1, 2 stay grad-less
+        sharded.step()
+        dense.step()
+        for i, (a, b) in enumerate(zip(a_params, b_params)):
+            assert np.array_equal(a.data, b.data), f"param {i}"
+
+    def test_fault_injected_step_converges_to_same_bits(self):
+        """Allgather retries inside the sharded step never change params."""
+        rng = np.random.default_rng(313)
+        world = 4
+        h_params = [Tensor(rng.normal(size=(5, 5)), requires_grad=True) for _ in range(4)]
+        f_params = [Tensor(p.data.copy(), requires_grad=True) for p in h_params]
+        healthy = ShardedAdamW(h_params, lr=1e-3, comm=SimComm(world), bucket_bytes=100)
+        faulty_comm = _faulty_comm(world, "timeout:2,corrupt:1", seed=5, horizon=12)
+        faulty = ShardedAdamW(f_params, lr=1e-3, comm=faulty_comm, bucket_bytes=100)
+        for step in range(3):
+            grng = np.random.default_rng(2000 + step)
+            for a, b in zip(h_params, f_params):
+                g = grng.normal(size=a.shape)
+                a.grad = g.copy()
+                b.grad = g.copy()
+            healthy.step()
+            faulty.step()
+            for i, (a, b) in enumerate(zip(h_params, f_params)):
+                assert np.array_equal(a.data, b.data), f"step={step} param={i}"
+        assert faulty_comm.traffic.retry_calls > 0
+
+    def test_state_bytes_shrink_with_world(self):
+        rng = np.random.default_rng(317)
+        params = [Tensor(rng.normal(size=(32, 32)), requires_grad=True)]
+        world = 8
+        opt = ShardedAdam(params, comm=SimComm(world), bucket_bytes=1 << 20)
+        dense_total = opt.state_bytes(rank=None)
+        per_rank = [opt.state_bytes(rank=r) for r in range(world)]
+        assert dense_total == 2 * 32 * 32 * 8
+        assert sum(per_rank) == dense_total  # exact cover, nothing replicated
+        assert max(per_rank) <= -(-dense_total // world) + 2 * 8
+
+    def test_ownership_is_disjoint_exact_cover(self):
+        rng = np.random.default_rng(331)
+        params = _random_params(rng, count=7)
+        world = 5
+        opt = ShardedAdam(params, comm=SimComm(world), bucket_bytes=150)
+        for bucket in opt.bucketer.buckets:
+            slices = sorted(
+                (lo, hi)
+                for b, lo, hi in opt.shard_ownership()
+                if b == bucket.index
+            )
+            assert slices[0][0] == 0 and slices[-1][1] == bucket.size
+            for (_, ahi), (blo, _) in zip(slices, slices[1:]):
+                assert ahi == blo
+
+
+# --------------------------------------------------------------------------- #
+# bf16 wire emulation
+# --------------------------------------------------------------------------- #
+class TestBf16Wire:
+    def test_roundtrip_error_within_bound(self):
+        rng = np.random.default_rng(401)
+        for scale in (1e-12, 1e-3, 1.0, 1e6, 1e30):
+            x = rng.normal(scale=scale, size=4096)
+            assert bf16_roundtrip_error(x) <= BF16_RELATIVE_ERROR_BOUND
+
+    def test_exactly_representable_values_roundtrip_exactly(self):
+        # Values with <= 8 significand bits survive the wire untouched.
+        x = np.array([0.0, 1.0, -2.0, 0.5, 1.5, 255.0, -0.25, 3.0])
+        assert np.array_equal(bf16_roundtrip(x), x)
+
+    def test_payload_is_two_bytes_per_element(self):
+        x = np.linspace(-1, 1, 33)
+        payload = bf16_compress(x)
+        assert payload.dtype == np.uint16
+        assert payload.nbytes == x.size * 2
+
+    def test_nan_survives_compression(self):
+        x = np.array([1.0, np.nan, -3.0])
+        rt = bf16_decompress(bf16_compress(x))
+        assert np.isnan(rt[1])
+        assert np.isfinite(rt[[0, 2]]).all()
+
+    def test_rounding_is_to_nearest(self):
+        # 1 + 2^-9 sits exactly between two bf16 neighbours' midpoint side:
+        # it must land within half a ulp (2^-9) of the input.
+        x = np.array([1.0 + 2.0 ** -9])
+        rt = bf16_roundtrip(x)
+        assert abs(rt[0] - x[0]) <= 2.0 ** -9
