@@ -10,8 +10,9 @@ Usage (from the repo root, with ``PYTHONPATH=src:.``)::
     python scripts/bench_gate.py --absolute        # also gate absolute times
 
 Suites: ``hotpaths`` (fused kernels + caching, vs
-``benchmarks/BENCH_hotpaths.json``) and ``sharding`` (ZeRO bucketed comm,
-vs ``benchmarks/BENCH_sharding.json``).
+``benchmarks/BENCH_hotpaths.json``), ``sharding`` (ZeRO bucketed comm,
+vs ``benchmarks/BENCH_sharding.json``), and ``serving`` (micro-batched
+goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``).
 
 Speedup ratios are gated by default (machine-portable); absolute times
 only with ``--absolute`` since they don't transfer across machines.
@@ -28,7 +29,7 @@ import sys
 # Allow running as `python scripts/bench_gate.py` from the repo root.
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks import bench_hotpaths, bench_sharding  # noqa: E402
+from benchmarks import bench_hotpaths, bench_serving, bench_sharding  # noqa: E402
 from benchmarks.common import write_bench_json  # noqa: E402
 from benchmarks.gate import DEFAULT_THRESHOLD, EXIT_USAGE, run_gate  # noqa: E402
 
@@ -40,6 +41,7 @@ _BENCH_DIR = os.path.join(
 SUITES = {
     "hotpaths": (bench_hotpaths, os.path.join(_BENCH_DIR, "BENCH_hotpaths.json")),
     "sharding": (bench_sharding, os.path.join(_BENCH_DIR, "BENCH_sharding.json")),
+    "serving": (bench_serving, os.path.join(_BENCH_DIR, "BENCH_serving.json")),
 }
 
 

@@ -6,6 +6,7 @@
 #   SMOKE_LANE=profile only the observability suite (-m profile)
 #   SMOKE_LANE=bench   bench-marked tests, then the hot-path regression gate
 #   SMOKE_LANE=shard   ZeRO sharding suite (-m shard) plus a --zero CLI smoke
+#   SMOKE_LANE=serve   serving suite (-m serve) plus a predict/serve CLI smoke
 #   SMOKE_LANE=full    the whole suite, markers included
 #
 # Scenario suites run on demand: -m fault / -m stability / -m profile.
@@ -40,11 +41,28 @@ shard)
     PYTHONPATH=src:. python scripts/bench_gate.py --suite sharding
     exit 0
     ;;
+serve)
+    PYTHONPATH=src python -m pytest -x -q -m serve "$@"
+    # End to end: bootstrap-train the demo servable into a scratch registry,
+    # answer offline queries, then run a simulated micro-batched serving
+    # session over open-loop traffic.
+    REGISTRY="$(mktemp -d /tmp/smoke-registry.XXXXXX)"
+    trap 'rm -rf "$REGISTRY"' EXIT
+    PYTHONPATH=src python -m repro.cli predict \
+        --registry "$REGISTRY" --bootstrap --samples 2 >/dev/null
+    SERVE_OUT="$(PYTHONPATH=src python -m repro.cli serve \
+        --registry "$REGISTRY" --requests 32 --rate 400)"
+    grep -q "req/s" <<<"$SERVE_OUT"
+    echo "serving smoke ok"
+    # Gate the serving bench against its committed baseline.
+    PYTHONPATH=src:. python scripts/bench_gate.py --suite serving
+    exit 0
+    ;;
 full)
     PYTHONPATH=src python -m pytest -x -q "$@"
     ;;
 *)
-    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|full)" >&2
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|full)" >&2
     exit 2
     ;;
 esac

@@ -16,7 +16,13 @@ The public surface mirrors a small slice of ``torch``:
 array([[2., 4.]])
 """
 
-from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.autograd.tensor import (
+    Tensor,
+    batch_invariant_kernels,
+    is_grad_enabled,
+    no_grad,
+    tensor,
+)
 from repro.autograd import functional
 from repro.autograd.anomaly import (
     NumericalAnomalyError,
@@ -28,6 +34,7 @@ from repro.autograd.gradcheck import gradcheck, numerical_gradient
 __all__ = [
     "Tensor",
     "tensor",
+    "batch_invariant_kernels",
     "no_grad",
     "is_grad_enabled",
     "functional",

@@ -56,6 +56,56 @@ def no_grad():
         _GRAD_ENABLED = prev
 
 
+#: When true, ``stable_matmul`` trades BLAS GEMM for a batch-invariant
+#: reduction (see below).  Toggled by ``batch_invariant_kernels``.
+_BATCH_INVARIANT = False
+
+
+@contextlib.contextmanager
+def batch_invariant_kernels():
+    """Make matmul results independent of the batch (row) dimension.
+
+    BLAS picks its GEMM kernel — and with it the ``k``-reduction order —
+    based on the operand shapes: a ``(1, k) @ (k, n)`` product goes through
+    a gemv-style path, small ``m`` through another, large blocked ``m``
+    through a third.  The *value* of row ``i`` of ``A @ W`` therefore
+    depends on how many other rows were in ``A``, at the last-ulp level.
+    That is fatal for :mod:`repro.serving`, whose contract is that a sample
+    served inside a coalesced micro-batch returns bit-identical results to
+    the same sample predicted alone.
+
+    Inside this context every 2-D matmul runs through ``np.einsum``, whose
+    sum-of-products loop reduces each output element over ``k`` in a fixed
+    order regardless of ``m`` (verified empirically across shapes up to
+    200x200: rows are bit-stable under slicing, padding, and memory
+    layout).  It is several times slower than BLAS, which is why this is a
+    scoped inference-time mode rather than the default: training keeps the
+    fast GEMM and its goldens, and only code that needs the
+    batched == single guarantee (the serving layer and its bit-identity
+    tests) opts in.
+    """
+    global _BATCH_INVARIANT
+    prev = _BATCH_INVARIANT
+    _BATCH_INVARIANT = True
+    try:
+        yield
+    finally:
+        _BATCH_INVARIANT = prev
+
+
+def stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b``, batch-invariant when ``batch_invariant_kernels`` is active.
+
+    Outside the context this is exactly ``np.matmul`` — same kernel, same
+    bits as before the serving layer existed.  Inside it, matrix products
+    use a fixed-order einsum reduction so each output row's bits do not
+    depend on how many rows ride along in the batch.
+    """
+    if _BATCH_INVARIANT and a.ndim >= 2 and b.ndim >= 2:
+        return np.einsum("...mk,...kn->...mn", a, b)
+    return np.matmul(a, b)
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
     if grad.shape == shape:
@@ -387,7 +437,7 @@ class Tensor:
     def __matmul__(self, other: TensorLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else None
         other_a = _as_array(other)
-        out_data = self.data @ other_a
+        out_data = stable_matmul(self.data, other_a)
         self_data = self.data
 
         def backward(g: np.ndarray) -> None:
@@ -407,8 +457,8 @@ class Tensor:
                 g2 = np.expand_dims(g2, -2)
             if other_a.ndim == 1:
                 g2 = np.expand_dims(g2, -1)
-            grad_a = g2 @ np.swapaxes(b, -1, -2)
-            grad_b = np.swapaxes(a, -1, -2) @ g2
+            grad_a = stable_matmul(g2, np.swapaxes(b, -1, -2))
+            grad_b = stable_matmul(np.swapaxes(a, -1, -2), g2)
             if self_data.ndim == 1:
                 grad_a = grad_a.reshape(grad_a.shape[:-2] + (grad_a.shape[-1],))
             if other_a.ndim == 1:

@@ -9,6 +9,8 @@ experiments can be driven without writing Python:
     python -m repro.cli explore --samples 30
     python -m repro.cli scaling --workers 16 512
     python -m repro.cli datasets
+    python -m repro.cli predict --registry /tmp/reg --bootstrap --samples 4
+    python -m repro.cli serve --registry /tmp/reg --rate 400 --requests 64
 """
 
 from __future__ import annotations
@@ -221,6 +223,82 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def _load_serving_model(args):
+    """Resolve the --registry/--model pair, bootstrapping when asked."""
+    from repro.serving import ModelRegistry
+    from repro.serving.demo import DEMO_MODEL_NAME, fit_demo_servable
+
+    registry = ModelRegistry(args.registry)
+    name = args.model
+    if args.bootstrap and name == DEMO_MODEL_NAME and name not in registry.names():
+        print(f"bootstrapping demo servable into {args.registry} ...")
+        _, mae = fit_demo_servable(args.registry, seed=args.seed)
+        print(f"trained demo model (final MAE {mae:.4f})")
+    return registry.load(name)
+
+
+def cmd_predict(args) -> int:
+    """One-shot offline predictions through the serving registry."""
+    from repro.serving.demo import demo_request_samples
+
+    servable = _load_serving_model(args)
+    samples = demo_request_samples(args.samples, seed=args.query_seed)
+    values = servable.predict(samples)
+    print(f"model: {args.model} (target {servable.spec.target}, "
+          f"encoder {servable.spec.encoder_name})")
+    for i, value in enumerate(values):
+        print(f"  sample {i}: {servable.spec.target} = {value:.6f}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Simulated open-loop serving run: micro-batching + admission control."""
+    from repro.distributed.events import SimClock
+    from repro.observability import Observer
+    from repro.serving import (
+        AdmissionPolicy,
+        BatchPolicy,
+        InferenceServer,
+        calibrate_service_model,
+        make_requests,
+        poisson_arrivals,
+    )
+    from repro.serving.demo import demo_request_samples
+
+    servable = _load_serving_model(args)
+    samples = demo_request_samples(max(args.samples, 1), seed=args.query_seed)
+    service_model = calibrate_service_model(
+        servable, samples, max_batch_size=max(args.max_batch, 2)
+    )
+    print(f"service model: {service_model.base * 1e3:.3f} ms + "
+          f"{service_model.per_sample * 1e3:.3f} ms/sample")
+    clock = SimClock()
+    observer = Observer(clock=clock)
+    server = InferenceServer(
+        servable,
+        batch=BatchPolicy(max_batch_size=args.max_batch, max_wait=args.max_wait),
+        admission=AdmissionPolicy(
+            max_queue_depth=args.queue_depth, deadline=args.deadline
+        ),
+        service_model=service_model,
+        observer=observer,
+        clock=clock,
+    )
+    requests = make_requests(
+        samples, poisson_arrivals(args.rate, args.requests, seed=args.seed)
+    )
+    report = server.serve(requests)
+    print(f"open-loop traffic: {args.requests} requests at {args.rate:g} req/s "
+          f"(seed {args.seed})")
+    print(report.summary())
+    print()
+    print(observer.metrics_table())
+    if args.trace_out is not None:
+        observer.export_chrome_trace(args.trace_out)
+        print(f"chrome trace written to {args.trace_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -296,6 +374,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("datasets", help="list available datasets")
     p.set_defaults(fn=cmd_datasets)
+
+    def _add_serving_args(p):
+        p.add_argument("--registry", required=True, metavar="DIR",
+                       help="servable registry root directory")
+        p.add_argument("--model", default="band_gap_demo",
+                       help="registry entry to load")
+        p.add_argument("--bootstrap", action="store_true",
+                       help="train and archive the demo model if absent")
+        p.add_argument("--samples", type=int, default=4,
+                       help="query structures to generate")
+        p.add_argument("--query-seed", type=int, default=99,
+                       help="seed for the generated query structures")
+        p.add_argument("--seed", type=int, default=13)
+
+    p = sub.add_parser("predict", help="offline predictions via the registry")
+    _add_serving_args(p)
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("serve", help="simulated micro-batched serving run")
+    _add_serving_args(p)
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="open-loop Poisson arrival rate (req/s)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of requests in the trace")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch size cap")
+    p.add_argument("--max-wait", type=float, default=0.01, metavar="S",
+                   help="max seconds the oldest request waits for a batch")
+    p.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                   help="shed requests arriving when N are queued")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-request completion deadline in seconds")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a chrome://tracing JSON of the serving spans")
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

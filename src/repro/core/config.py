@@ -22,12 +22,16 @@ class EncoderConfig:
     num_species: int = 100
 
     def build_kwargs(self) -> dict:
-        return {
+        kwargs = {
             "hidden_dim": self.hidden_dim,
             "num_layers": self.num_layers,
-            "position_dim": self.position_dim,
             "num_species": self.num_species,
         }
+        # Only the E(n)-GNN carries an equivariant coordinate channel;
+        # SchNet and GAANet reject the kwarg.
+        if self.name == "egnn":
+            kwargs["position_dim"] = self.position_dim
+        return kwargs
 
 
 @dataclass

@@ -26,7 +26,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, stable_matmul
 
 _SELU_ALPHA = 1.6732632423543772
 _SELU_SCALE = 1.0507009873554805
@@ -174,7 +174,7 @@ def linear_act(
     """
     act_fwd, act_bwd = ACTIVATIONS[act or "identity"]
     x_data, w_data = x.data, weight.data
-    z = x_data @ w_data
+    z = stable_matmul(x_data, w_data)
     if bias is not None:
         z += bias.data  # in-place on the fresh GEMM result, same bits
     out_data, ctx = act_fwd(z)
@@ -183,8 +183,8 @@ def linear_act(
         gz = act_bwd(g, z, ctx)
         if bias is not None:
             bias._accumulate(gz)
-        x._accumulate_owned(gz @ np.swapaxes(w_data, -1, -2))
-        weight._accumulate_owned(np.swapaxes(x_data, -1, -2) @ gz)
+        x._accumulate_owned(stable_matmul(gz, np.swapaxes(w_data, -1, -2)))
+        weight._accumulate_owned(stable_matmul(np.swapaxes(x_data, -1, -2), gz))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out_data, parents, backward)

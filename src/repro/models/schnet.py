@@ -78,9 +78,13 @@ class SchNetInteraction(Module):
         edge_src: np.ndarray,
         edge_dst: np.ndarray,
     ) -> Tensor:
+        # No early-exit on an empty edge list: a node with no neighbours
+        # still receives ``h + update(0)`` (the update MLP has biases), and
+        # that must hold whether the node's graph is forwarded alone or
+        # inside a batch where *other* graphs contribute edges — otherwise
+        # batched and single-graph inference disagree (see repro.serving's
+        # bit-identity contract).
         num_nodes = h.shape[0]
-        if len(edge_src) == 0:
-            return h
         filters = self.filter_net(Tensor(rbf))
         neighbours = K.index_select(self.project(h), edge_dst)
         agg = K.mul_segment_sum(neighbours, filters, edge_src, num_nodes)

@@ -1,0 +1,69 @@
+"""Online inference serving: model registry, micro-batching, admission.
+
+The serving layer closes the loop the ROADMAP's north star opens —
+trained surrogate models answering "heavy traffic from millions of users"
+— in the same simulated, deterministic style as the distributed layer:
+
+* :class:`ModelRegistry` / :class:`Servable` — CRC-checked checkpoint
+  archives rebuilt into eval-mode tasks (``servable.py``);
+* :class:`MicroBatcher` — dynamic request coalescing with load shedding
+  and deadlines on a simulated clock (``batcher.py``);
+* :class:`InferenceServer` / :class:`ServeReport` — the bundled server
+  with observability and latency/throughput reduction (``server.py``);
+* :func:`poisson_arrivals` / :func:`make_requests` — seeded open-loop
+  traffic (``traffic.py``).
+
+The core numerical guarantee: a request's prediction is bit-identical
+whether it is served alone or coalesced into any micro-batch, because all
+serving forwards run under
+:func:`repro.autograd.batch_invariant_kernels` (DESIGN.md §12).
+"""
+
+from repro.serving.batcher import (
+    AdmissionPolicy,
+    BatchPolicy,
+    MicroBatcher,
+    Request,
+    Response,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+)
+from repro.serving.servable import (
+    ModelRegistry,
+    Servable,
+    ServableSpec,
+    load_servable,
+    save_servable,
+)
+from repro.serving.server import (
+    AffineServiceModel,
+    InferenceServer,
+    ServeReport,
+    calibrate_service_model,
+    summarize,
+)
+from repro.serving.traffic import make_requests, poisson_arrivals
+
+__all__ = [
+    "AdmissionPolicy",
+    "AffineServiceModel",
+    "BatchPolicy",
+    "InferenceServer",
+    "MicroBatcher",
+    "ModelRegistry",
+    "Request",
+    "Response",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_TIMEOUT",
+    "Servable",
+    "ServableSpec",
+    "ServeReport",
+    "calibrate_service_model",
+    "load_servable",
+    "make_requests",
+    "poisson_arrivals",
+    "save_servable",
+    "summarize",
+]

@@ -1,0 +1,174 @@
+"""The inference server: servable + policies + observability, one handle.
+
+:class:`InferenceServer` wires a loaded :class:`~repro.serving.Servable`
+into a :class:`~repro.serving.MicroBatcher` with an
+:class:`~repro.observability.Observer` on the shared simulated clock, and
+reduces a traffic trace to a :class:`ServeReport` — the p50/p99 latency,
+throughput, and shed/timeout accounting the benchmarks and the ``repro
+serve`` CLI print.
+
+Service time is modelled affinely (``a + b * batch_size``), calibrated
+from real timed forwards by :func:`calibrate_service_model`: ``a`` is the
+per-dispatch overhead micro-batching amortizes, ``b`` the per-sample
+compute it cannot.  The model keeps the event loop deterministic while
+staying anchored to measured compute on the current machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed.events import SimClock
+from repro.observability import Observer
+from repro.serving.batcher import (
+    AdmissionPolicy,
+    BatchPolicy,
+    MicroBatcher,
+    Request,
+    Response,
+)
+from repro.serving.servable import Servable
+
+
+@dataclass
+class AffineServiceModel:
+    """``duration(n) = base + per_sample * n`` seconds."""
+
+    base: float
+    per_sample: float
+
+    def __post_init__(self):
+        if self.base < 0 or self.per_sample <= 0:
+            raise ValueError(
+                f"need base >= 0 and per_sample > 0, got {self.base}, {self.per_sample}"
+            )
+
+    def __call__(self, batch_size: int) -> float:
+        return self.base + self.per_sample * batch_size
+
+    def capacity(self, batch_size: int) -> float:
+        """Sustainable throughput (req/s) at a fixed dispatch size."""
+        return batch_size / self(batch_size)
+
+
+def calibrate_service_model(
+    servable: Servable,
+    samples: Sequence[object],
+    max_batch_size: int = 8,
+    rounds: int = 3,
+) -> AffineServiceModel:
+    """Fit the affine model from real timed forwards at two batch sizes.
+
+    Times ``predict`` at batch size 1 and ``max_batch_size`` (median of
+    ``rounds``, one warmup each) and solves the two-point system for
+    ``base``/``per_sample``.  Degenerate fits (non-positive slope on a
+    noisy host) fall back to a flat per-sample cost.
+    """
+    from benchmarks.common import time_callable
+
+    if max_batch_size < 2:
+        raise ValueError("max_batch_size must be >= 2 to calibrate a slope")
+    one = [samples[0]]
+    many = [samples[i % len(samples)] for i in range(max_batch_size)]
+    t1 = time_callable(lambda: servable.predict(one), rounds=rounds, warmup=1)
+    tn = time_callable(lambda: servable.predict(many), rounds=rounds, warmup=1)
+    per_sample = (tn - t1) / (max_batch_size - 1)
+    if per_sample <= 0:
+        per_sample = tn / max_batch_size
+    base = max(t1 - per_sample, 0.0)
+    return AffineServiceModel(base=base, per_sample=per_sample)
+
+
+@dataclass
+class ServeReport:
+    """Reduced view of one serving run over a traffic trace."""
+
+    responses: List[Response]
+    p50_latency: float
+    p99_latency: float
+    throughput: float  # completed requests per simulated second
+    mean_batch_size: float
+    ok: int
+    shed: int
+    timeout: int
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.ok + self.shed + self.timeout
+
+    def goodput(self, slo: float) -> float:
+        """Completed-within-SLO requests per simulated second."""
+        good = [r for r in self.responses if r.ok and r.latency <= slo]
+        if not good:
+            return 0.0
+        span = max(r.completed_at for r in good) - min(r.arrival for r in self.responses)
+        return len(good) / max(span, 1e-12)
+
+    def summary(self) -> str:
+        return (
+            f"{self.ok}/{self.total} ok ({self.shed} shed, {self.timeout} timeout), "
+            f"p50 {self.p50_latency * 1e3:.2f} ms, p99 {self.p99_latency * 1e3:.2f} ms, "
+            f"{self.throughput:.1f} req/s, mean batch {self.mean_batch_size:.2f}"
+        )
+
+
+class InferenceServer:
+    """Micro-batched serving over a servable, fully observable."""
+
+    def __init__(
+        self,
+        servable: Servable,
+        batch: Optional[BatchPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        service_model=None,
+        observer: Optional[Observer] = None,
+        clock: Optional[SimClock] = None,
+    ):
+        self.servable = servable
+        self.clock = clock if clock is not None else SimClock()
+        self.observer = observer if observer is not None else Observer(clock=self.clock)
+        self.batcher = MicroBatcher(
+            servable.predict,
+            batch=batch,
+            admission=admission,
+            service_model=service_model,
+            clock=self.clock,
+            observer=self.observer,
+        )
+
+    def serve(self, requests: Sequence[Request]) -> ServeReport:
+        responses = self.batcher.run(requests)
+        return summarize(responses, self.observer)
+
+
+def summarize(
+    responses: Sequence[Response], observer: Optional[Observer] = None
+) -> ServeReport:
+    """Reduce raw responses to the report the benches and CLI print."""
+    completed = [r for r in responses if r.ok]
+    latencies = np.array([r.latency for r in completed], dtype=np.float64)
+    if len(completed) >= 1:
+        span = max(r.completed_at for r in completed) - min(
+            r.arrival for r in responses
+        )
+        throughput = len(completed) / max(span, 1e-12)
+        p50 = float(np.percentile(latencies, 50))
+        p99 = float(np.percentile(latencies, 99))
+        mean_batch = float(np.mean([r.batch_size for r in completed]))
+    else:
+        throughput = p50 = p99 = mean_batch = 0.0
+    return ServeReport(
+        responses=list(responses),
+        p50_latency=p50,
+        p99_latency=p99,
+        throughput=throughput,
+        mean_batch_size=mean_batch,
+        ok=len(completed),
+        shed=sum(r.status == "shed" for r in responses),
+        timeout=sum(r.status == "timeout" for r in responses),
+        metrics=observer.metrics.snapshot() if observer is not None else {},
+    )

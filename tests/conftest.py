@@ -25,6 +25,8 @@ MARKERS = [
     "with -m bench",
     "shard: ZeRO sharding scenarios (bucketed collectives, sharded optimizer "
     "state, bit-identity); select with -m shard",
+    "serve: online serving scenarios (micro-batching, registry, batch "
+    "bit-identity); select with -m serve",
 ]
 
 

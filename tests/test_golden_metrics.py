@@ -36,6 +36,17 @@ GOLDEN_PRETRAIN_TRAIN_LOSS = 1.3207445424273769
 GOLDEN_FINETUNE_FINAL_MAE = 1.2795972489148004
 GOLDEN_FINETUNE_BEST_MAE = 1.2795972489148004
 
+# Train -> checkpoint -> registry -> serve round trip (serving demo, seed 13,
+# query structures seed 99).  Pinned in physical units after denormalization;
+# the demo shares the finetune config above, so its training MAE must land on
+# GOLDEN_FINETUNE_FINAL_MAE exactly.
+GOLDEN_SERVING_PREDICTIONS = [
+    1.5465144734267675,
+    0.9309743232751978,
+    2.3848497067710897,
+    1.2150353362748516,
+]
+
 
 def _pretrain_config() -> PretrainConfig:
     return PretrainConfig(
@@ -131,3 +142,46 @@ class TestGoldenFinetune:
     def test_best_no_worse_than_final(self, result):
         # Internal consistency of the golden pair, independent of exact values.
         assert result.best_mae <= result.final_mae + TOL
+
+
+@pytest.mark.serve
+class TestGoldenServing:
+    """Fixed-seed train -> checkpoint -> registry -> serve round trip.
+
+    Extends the golden guarantee across the serialization boundary: the
+    archived weights, the CRC check, the spec-driven model rebuild, the
+    normalizer round trip, and the batch-invariant serving forward all sit
+    between training and these constants.  The demo reuses the finetune
+    config above, so its training MAE is additionally pinned to the same
+    golden — proving the serving path added no training-side drift.
+    """
+
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        from repro.serving import ModelRegistry
+        from repro.serving.demo import (
+            DEMO_MODEL_NAME,
+            demo_request_samples,
+            fit_demo_servable,
+        )
+
+        root = str(tmp_path_factory.mktemp("registry"))
+        _, final_mae = fit_demo_servable(root, seed=13)
+        servable = ModelRegistry(root).load(DEMO_MODEL_NAME)
+        samples = demo_request_samples(4, seed=99)
+        return final_mae, servable, samples
+
+    def test_training_side_unchanged(self, served):
+        final_mae, _, _ = served
+        assert final_mae == pytest.approx(GOLDEN_FINETUNE_FINAL_MAE, abs=TOL)
+
+    def test_round_trip_predictions(self, served):
+        _, servable, samples = served
+        preds = servable.predict(samples)
+        assert list(preds) == pytest.approx(GOLDEN_SERVING_PREDICTIONS, abs=TOL)
+
+    def test_round_trip_is_batch_invariant(self, served):
+        _, servable, samples = served
+        batched = servable.predict(samples)
+        singles = [servable.predict_one(s) for s in samples]
+        assert list(batched) == singles  # bit-exact, not approx

@@ -1,0 +1,324 @@
+"""Serving layer: micro-batcher queueing properties + registry round trips.
+
+The micro-batcher tests treat the loop as a black box under seeded random
+arrival sequences and assert the serving contract directly: every request
+gets exactly one terminal response, no client ever sees its own requests
+reordered, the ``max_wait`` bound holds when the server is not the
+bottleneck, and shedding/timeouts are deterministic functions of the
+arrival sequence.  ``model_fn`` is a trivial echo so the queueing logic is
+isolated from model numerics (those live in
+``tests/test_serving_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.distributed.events import SimClock
+from repro.observability import Observer
+from repro.serving import (
+    AdmissionPolicy,
+    BatchPolicy,
+    MicroBatcher,
+    ModelRegistry,
+    Request,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    ServableSpec,
+    load_servable,
+    make_requests,
+    poisson_arrivals,
+    save_servable,
+)
+from repro.serving.demo import demo_request_samples
+from repro.serving.servable import SPEC_FILENAME, WEIGHTS_FILENAME
+from repro.training.checkpoint_io import CheckpointIntegrityError
+
+pytestmark = pytest.mark.serve
+
+
+def echo_model(samples):
+    return np.asarray([float(s) for s in samples])
+
+
+def run_batcher(requests, max_batch=4, max_wait=0.01, admission=None,
+                service_model=None, observer=None):
+    clock = SimClock()
+    batcher = MicroBatcher(
+        echo_model,
+        batch=BatchPolicy(max_batch_size=max_batch, max_wait=max_wait),
+        admission=admission,
+        service_model=service_model,
+        clock=clock,
+        observer=observer,
+    )
+    return batcher.run(requests)
+
+
+def seeded_requests(seed, count=60, rate=200.0, deadline=None):
+    samples = [float(i) for i in range(11)]
+    arrivals = poisson_arrivals(rate, count, seed=seed)
+    return make_requests(samples, arrivals, num_clients=4, deadline=deadline)
+
+
+def as_tuples(responses):
+    return [
+        (
+            r.request_id,
+            r.client_id,
+            r.status,
+            r.value,
+            r.arrival,
+            r.dispatched_at,
+            r.completed_at,
+            r.batch_size,
+        )
+        for r in responses
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Policy validation
+# --------------------------------------------------------------------------- #
+def test_batch_policy_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch_size=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_wait=-0.1)
+
+
+def test_admission_policy_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(deadline=0.0)
+
+
+def test_poisson_arrivals_seeded_and_monotone():
+    a = poisson_arrivals(100.0, 50, seed=7)
+    b = poisson_arrivals(100.0, 50, seed=7)
+    assert np.array_equal(a, b)
+    assert len(a) == 50
+    assert all(x <= y for x, y in zip(a, a[1:]))
+    with pytest.raises(ValueError):
+        poisson_arrivals(0.0, 5)
+
+
+def test_make_requests_cycles_clients_and_sets_deadlines():
+    reqs = make_requests([1.0, 2.0], [0.0, 0.1, 0.2], num_clients=2, deadline=0.5)
+    assert [r.client_id for r in reqs] == ["client-0", "client-1", "client-0"]
+    assert [r.sample for r in reqs] == [1.0, 2.0, 1.0]
+    assert reqs[1].deadline == pytest.approx(0.6)
+
+
+# --------------------------------------------------------------------------- #
+# Micro-batcher properties under seeded random traffic
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(5))
+def test_every_request_gets_exactly_one_response(seed):
+    requests = seeded_requests(seed)
+    responses = run_batcher(requests)
+    counts = Counter(r.request_id for r in responses)
+    assert counts == Counter(r.request_id for r in requests)
+    assert set(counts.values()) == {1}
+    for resp in responses:
+        assert resp.status == STATUS_OK
+        assert resp.value == pytest.approx(
+            float(requests[resp.request_id].sample)
+        )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_no_client_sees_reordering(seed):
+    requests = seeded_requests(seed)
+    responses = run_batcher(
+        requests,
+        admission=AdmissionPolicy(max_queue_depth=6),
+        service_model=lambda n: 0.002 + 0.0005 * n,
+    )
+    by_client = {}
+    for resp in responses:  # already sorted by completion time
+        by_client.setdefault(resp.client_id, []).append(resp)
+    for client_responses in by_client.values():
+        arrivals = [r.arrival for r in client_responses]
+        assert arrivals == sorted(arrivals), "client saw responses out of order"
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_max_wait_bound_holds_when_server_is_fast(seed):
+    max_wait = 0.004
+    requests = seeded_requests(seed)
+    responses = run_batcher(requests, max_wait=max_wait)
+    for resp in responses:
+        assert resp.status == STATUS_OK
+        wait = resp.dispatched_at - resp.arrival
+        assert wait <= max_wait + 1e-12
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_shedding_is_deterministic_and_accounted(seed):
+    admission = AdmissionPolicy(max_queue_depth=2)
+    slow = lambda n: 0.05  # noqa: E731 - force the queue to back up
+    requests = seeded_requests(seed, rate=500.0)
+    first = run_batcher(seeded_requests(seed, rate=500.0),
+                        admission=admission, service_model=slow)
+    second = run_batcher(seeded_requests(seed, rate=500.0),
+                         admission=admission, service_model=slow)
+    assert as_tuples(first) == as_tuples(second)
+    statuses = Counter(r.status for r in first)
+    assert statuses[STATUS_SHED] > 0
+    assert statuses[STATUS_OK] + statuses.get(STATUS_SHED, 0) == len(requests)
+    for resp in first:
+        if resp.status == STATUS_SHED:
+            assert resp.value is None
+            assert resp.dispatched_at is None
+            assert resp.completed_at == resp.arrival
+
+
+def test_deadline_times_out_instead_of_wasting_a_forward():
+    calls = []
+
+    def counting_model(samples):
+        calls.append(len(samples))
+        return echo_model(samples)
+
+    clock = SimClock()
+    batcher = MicroBatcher(
+        counting_model,
+        batch=BatchPolicy(max_batch_size=4, max_wait=0.001),
+        admission=AdmissionPolicy(deadline=0.01),
+        service_model=lambda n: 0.1,  # every batch blows the deadline
+        clock=clock,
+    )
+    responses = batcher.run(seeded_requests(0, count=12))
+    assert all(r.status == STATUS_TIMEOUT for r in responses)
+    assert calls == []  # timed-out batches never reach the model
+
+
+def test_metrics_account_for_every_request():
+    clock = SimClock()
+    observer = Observer(clock=clock)
+    batcher = MicroBatcher(
+        echo_model,
+        batch=BatchPolicy(max_batch_size=4, max_wait=0.004),
+        admission=AdmissionPolicy(max_queue_depth=3),
+        service_model=lambda n: 0.01,
+        clock=clock,
+        observer=observer,
+    )
+    requests = seeded_requests(1, count=50, rate=600.0)
+    responses = batcher.run(requests)
+    statuses = Counter(r.status for r in responses)
+    metrics = observer.metrics
+    assert metrics.value("serve.queue.admitted") + metrics.value(
+        "serve.shed.queue_full"
+    ) == len(requests)
+    assert metrics.value("serve.batch.requests") == statuses[STATUS_OK]
+    assert metrics.value("serve.shed.queue_full") == statuses.get(STATUS_SHED, 0)
+    assert metrics.value("serve.shed.deadline") == statuses.get(STATUS_TIMEOUT, 0)
+    assert metrics.value("serve.queue.peak_depth") <= 3
+    spans = [s for s in observer.tracer.spans if s.name == "serve.request"]
+    assert len(spans) == len(requests)
+
+
+def test_model_fn_length_mismatch_is_an_error():
+    batcher = MicroBatcher(lambda samples: np.zeros(len(samples) + 1))
+    with pytest.raises(RuntimeError, match="model_fn returned"):
+        batcher.run([Request(request_id=0, sample=1.0, arrival=0.0)])
+
+
+def test_full_batch_dispatches_without_waiting():
+    requests = [
+        Request(request_id=i, sample=float(i), arrival=0.0) for i in range(4)
+    ]
+    responses = run_batcher(requests, max_batch=4, max_wait=10.0)
+    assert all(r.dispatched_at == 0.0 for r in responses)
+    assert all(r.batch_size == 4 for r in responses)
+
+
+# --------------------------------------------------------------------------- #
+# Servable archives and the registry
+# --------------------------------------------------------------------------- #
+def tiny_spec():
+    return ServableSpec(
+        target="band_gap",
+        encoder_name="egnn",
+        hidden_dim=8,
+        num_layers=1,
+        position_dim=2,
+        head_hidden_dim=8,
+        head_blocks=1,
+        normalizer=[0.5, 2.0],
+    )
+
+
+def trained_like_task(spec, seed=42):
+    """A task whose weights differ from the skeleton init, as training would."""
+    task = spec.build_task()
+    rng = np.random.default_rng(seed)
+    for param in task.parameters():
+        param.data += rng.normal(scale=0.05, size=param.data.shape)
+    return task
+
+
+def test_registry_round_trip_preserves_predictions(tmp_path):
+    spec = tiny_spec()
+    task = trained_like_task(spec)
+    registry = ModelRegistry(str(tmp_path))
+    registry.save("tiny", task, spec)
+    assert registry.names() == ["tiny"]
+
+    samples = demo_request_samples(3, seed=5)
+    from repro.serving.servable import Servable
+
+    direct = Servable(task, spec).predict(samples)
+    loaded = ModelRegistry(str(tmp_path)).load("tiny")
+    assert np.array_equal(loaded.predict(samples), direct)
+    # Cache: the same object comes back on the second load.
+    again = registry.load("tiny")
+    assert registry.load("tiny") is again
+
+
+def test_registry_unknown_name_lists_available(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    registry.save("present", trained_like_task(tiny_spec()), tiny_spec())
+    with pytest.raises(KeyError, match="present"):
+        registry.load("absent")
+
+
+def test_corrupt_weights_refuse_to_load(tmp_path):
+    spec = tiny_spec()
+    directory = save_servable(trained_like_task(spec), spec, str(tmp_path / "m"))
+    weights = tmp_path / "m" / WEIGHTS_FILENAME
+    blob = bytearray(weights.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    weights.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointIntegrityError):
+        load_servable(str(directory))
+
+
+def test_unsupported_spec_version_refuses_to_load(tmp_path):
+    spec = tiny_spec()
+    directory = save_servable(trained_like_task(spec), spec, str(tmp_path / "m"))
+    spec_path = tmp_path / "m" / SPEC_FILENAME
+    payload = spec_path.read_text().replace('"version": 1', '"version": 99')
+    spec_path.write_text(payload)
+    with pytest.raises(CheckpointIntegrityError, match="version"):
+        load_servable(str(directory))
+
+
+def test_malformed_spec_refuses_to_load(tmp_path):
+    spec = tiny_spec()
+    directory = save_servable(trained_like_task(spec), spec, str(tmp_path / "m"))
+    (tmp_path / "m" / SPEC_FILENAME).write_text("{not json")
+    with pytest.raises(CheckpointIntegrityError, match="unreadable"):
+        load_servable(str(directory))
+
+
+def test_spec_json_round_trip():
+    spec = tiny_spec()
+    assert ServableSpec.from_json(spec.to_json()) == spec
