@@ -11,8 +11,10 @@ Usage (from the repo root, with ``PYTHONPATH=src:.``)::
 
 Suites: ``hotpaths`` (fused kernels + caching, vs
 ``benchmarks/BENCH_hotpaths.json``), ``sharding`` (ZeRO bucketed comm,
-vs ``benchmarks/BENCH_sharding.json``), and ``serving`` (micro-batched
-goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``).
+vs ``benchmarks/BENCH_sharding.json``), ``serving`` (micro-batched
+goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``), and
+``resilience`` (replicated-pool availability under seeded chaos, vs
+``benchmarks/BENCH_resilience.json``).
 
 Speedup ratios are gated by default (machine-portable); absolute times
 only with ``--absolute`` since they don't transfer across machines.
@@ -29,7 +31,12 @@ import sys
 # Allow running as `python scripts/bench_gate.py` from the repo root.
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks import bench_hotpaths, bench_serving, bench_sharding  # noqa: E402
+from benchmarks import (  # noqa: E402
+    bench_hotpaths,
+    bench_resilience,
+    bench_serving,
+    bench_sharding,
+)
 from benchmarks.common import write_bench_json  # noqa: E402
 from benchmarks.gate import DEFAULT_THRESHOLD, EXIT_USAGE, run_gate  # noqa: E402
 
@@ -42,6 +49,10 @@ SUITES = {
     "hotpaths": (bench_hotpaths, os.path.join(_BENCH_DIR, "BENCH_hotpaths.json")),
     "sharding": (bench_sharding, os.path.join(_BENCH_DIR, "BENCH_sharding.json")),
     "serving": (bench_serving, os.path.join(_BENCH_DIR, "BENCH_serving.json")),
+    "resilience": (
+        bench_resilience,
+        os.path.join(_BENCH_DIR, "BENCH_resilience.json"),
+    ),
 }
 
 

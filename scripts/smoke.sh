@@ -7,6 +7,8 @@
 #   SMOKE_LANE=bench   bench-marked tests, then the hot-path regression gate
 #   SMOKE_LANE=shard   ZeRO sharding suite (-m shard) plus a --zero CLI smoke
 #   SMOKE_LANE=serve   serving suite (-m serve) plus a predict/serve CLI smoke
+#   SMOKE_LANE=chaos   resilience suite (-m chaos) plus a replicated-serve
+#                      CLI smoke under a seeded chaos profile
 #   SMOKE_LANE=full    the whole suite, markers included
 #
 # Scenario suites run on demand: -m fault / -m stability / -m profile.
@@ -58,11 +60,31 @@ serve)
     PYTHONPATH=src:. python scripts/bench_gate.py --suite serving
     exit 0
     ;;
+chaos)
+    PYTHONPATH=src python -m pytest -x -q -m chaos "$@"
+    # End to end: a 3-replica pool must survive a seeded chaos profile on
+    # the CLI path and report per-replica / breaker / hedge metrics.
+    REGISTRY="$(mktemp -d /tmp/smoke-registry.XXXXXX)"
+    trap 'rm -rf "$REGISTRY"' EXIT
+    PYTHONPATH=src python -m repro.cli predict \
+        --registry "$REGISTRY" --bootstrap --samples 2 >/dev/null
+    CHAOS_OUT="$(PYTHONPATH=src python -m repro.cli serve \
+        --registry "$REGISTRY" --requests 48 --rate 600 --replicas 3 \
+        --chaos-profile replica_crash:1,replica_slow:1 --hedge-ms 4)"
+    grep -q "replica pool: 3 replicas" <<<"$CHAOS_OUT"
+    grep -q "chaos events" <<<"$CHAOS_OUT"
+    PYTHONPATH=src python -m repro.cli registry verify \
+        --registry "$REGISTRY" | grep -q "servables verified ok"
+    echo "chaos smoke ok"
+    # Gate the resilience bench against its committed baseline.
+    PYTHONPATH=src:. python scripts/bench_gate.py --suite resilience
+    exit 0
+    ;;
 full)
     PYTHONPATH=src python -m pytest -x -q "$@"
     ;;
 *)
-    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|full)" >&2
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|full)" >&2
     exit 2
     ;;
 esac

@@ -11,6 +11,9 @@ experiments can be driven without writing Python:
     python -m repro.cli datasets
     python -m repro.cli predict --registry /tmp/reg --bootstrap --samples 4
     python -m repro.cli serve --registry /tmp/reg --rate 400 --requests 64
+    python -m repro.cli serve --registry /tmp/reg --replicas 3 \
+        --chaos-profile replica_crash:1,replica_slow:1
+    python -m repro.cli registry verify --registry /tmp/reg
 """
 
 from __future__ import annotations
@@ -252,14 +255,23 @@ def cmd_predict(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Simulated open-loop serving run: micro-batching + admission control."""
+    """Simulated open-loop serving run: micro-batching + admission control.
+
+    ``--replicas N`` (N > 1) serves through the resilient
+    :class:`~repro.serving.ReplicaPool` — health checks, circuit breakers,
+    hedged requests, failover — and ``--chaos-profile`` injects a seeded
+    serving-fault schedule into the run (DESIGN.md §13).
+    """
     from repro.distributed.events import SimClock
     from repro.observability import Observer
     from repro.serving import (
         AdmissionPolicy,
         BatchPolicy,
+        HedgePolicy,
         InferenceServer,
+        ReplicaPool,
         calibrate_service_model,
+        chaos_schedule,
         make_requests,
         poisson_arrivals,
     )
@@ -274,22 +286,54 @@ def cmd_serve(args) -> int:
           f"{service_model.per_sample * 1e3:.3f} ms/sample")
     clock = SimClock()
     observer = Observer(clock=clock)
-    server = InferenceServer(
-        servable,
-        batch=BatchPolicy(max_batch_size=args.max_batch, max_wait=args.max_wait),
-        admission=AdmissionPolicy(
-            max_queue_depth=args.queue_depth, deadline=args.deadline
-        ),
-        service_model=service_model,
-        observer=observer,
-        clock=clock,
+    batch = BatchPolicy(max_batch_size=args.max_batch, max_wait=args.max_wait)
+    admission = AdmissionPolicy(
+        max_queue_depth=args.queue_depth, deadline=args.deadline
     )
-    requests = make_requests(
-        samples, poisson_arrivals(args.rate, args.requests, seed=args.seed)
-    )
-    report = server.serve(requests)
+    arrivals = poisson_arrivals(args.rate, args.requests, seed=args.seed)
+    requests = make_requests(samples, arrivals)
     print(f"open-loop traffic: {args.requests} requests at {args.rate:g} req/s "
           f"(seed {args.seed})")
+    if args.replicas > 1 or args.chaos_profile:
+        duration = max(float(arrivals[-1]), 1e-6) if len(arrivals) else 1.0
+        chaos = (
+            chaos_schedule(
+                args.chaos_profile, args.replicas, duration, seed=args.chaos_seed
+            )
+            if args.chaos_profile
+            else None
+        )
+        pool = ReplicaPool(
+            servable.predict,
+            num_replicas=args.replicas,
+            batch=batch,
+            admission=admission,
+            service_model=service_model,
+            hedge=HedgePolicy(delay=args.hedge_ms * 1e-3),
+            chaos=chaos,
+            clock=clock,
+            observer=observer,
+            seed=args.seed,
+        )
+        print(f"replica pool: {args.replicas} replicas, "
+              f"hedge after {args.hedge_ms:g} ms"
+              + (f", chaos '{args.chaos_profile}' (seed {args.chaos_seed})"
+                 if args.chaos_profile else ""))
+        report = pool.serve(requests)
+        if args.chaos_profile:
+            counts = pool.events.summary()
+            summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"chaos events: {summary if summary else 'none'}")
+    else:
+        server = InferenceServer(
+            servable,
+            batch=batch,
+            admission=admission,
+            service_model=service_model,
+            observer=observer,
+            clock=clock,
+        )
+        report = server.serve(requests)
     print(report.summary())
     print()
     print(observer.metrics_table())
@@ -297,6 +341,34 @@ def cmd_serve(args) -> int:
         observer.export_chrome_trace(args.trace_out)
         print(f"chrome trace written to {args.trace_out}")
     return 0
+
+
+def cmd_registry_verify(args) -> int:
+    """CRC-audit every servable in a registry; non-zero exit on corruption."""
+    from repro.serving import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    results = registry.verify()
+    if not results:
+        print(f"registry {args.registry}: no servables found")
+        return 0
+    bad = 0
+    for name, info in sorted(results.items()):
+        if info["ok"]:
+            print(f"  {name:24s} ok    {info['encoder']:>8s} -> {info['target']}, "
+                  f"{info['arrays']} arrays, {info['bytes'] / 1e3:.1f} kB")
+        else:
+            bad += 1
+            print(f"  {name:24s} FAIL  {info['error']}")
+    print(f"{len(results) - bad}/{len(results)} servables verified ok")
+    return 1 if bad else 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -408,7 +480,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request completion deadline in seconds")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a chrome://tracing JSON of the serving spans")
+    p.add_argument("--replicas", type=_positive_int, default=1, metavar="N",
+                   help="serve through a resilient N-replica pool (health "
+                        "checks, circuit breakers, hedging, failover)")
+    p.add_argument("--chaos-profile", default=None, metavar="SPEC",
+                   help="seeded serving faults, e.g. "
+                        "'replica_crash:1,replica_slow:1,servable_corrupt:1'")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for the chaos schedule")
+    p.add_argument("--hedge-ms", type=float, default=5.0, metavar="MS",
+                   help="hedge a still-unanswered request onto a sibling "
+                        "replica after this many milliseconds")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("registry", help="servable registry maintenance")
+    reg_sub = p.add_subparsers(dest="registry_command", required=True)
+    p = reg_sub.add_parser("verify", help="CRC-check every servable archive")
+    p.add_argument("--registry", required=True, metavar="DIR",
+                   help="servable registry root directory")
+    p.set_defaults(fn=cmd_registry_verify)
 
     return parser
 

@@ -36,6 +36,7 @@ from repro.distributed.ddp import DDPStrategy, SingleProcessStrategy, Strategy
 from repro.distributed.events import EventLog, FaultEvent, SimClock
 from repro.distributed.faults import (
     AllreduceTimeout,
+    ChaosEngine,
     CommFault,
     FaultInjector,
     FaultProfile,
@@ -90,6 +91,7 @@ __all__ = [
     "SimClock",
     "AllreduceTimeout",
     "CommFault",
+    "ChaosEngine",
     "FaultInjector",
     "FaultProfile",
     "GradientCorruption",

@@ -30,6 +30,19 @@ CHECKPOINT_SAVE = "checkpoint_save"
 RESTORE = "restore"
 RECOVER = "recover"
 GIVE_UP = "give_up"
+# Serving-resilience vocabulary (replica chaos, health, breakers, hedging).
+REPLICA_CRASH = "replica_crash"
+REPLICA_SLOW = "replica_slow"
+PREDICT_FLAKY = "predict_flaky"
+SERVABLE_CORRUPT = "servable_corrupt"
+REPLICA_UNHEALTHY = "replica_unhealthy"
+REPLICA_RECOVERED = "replica_recovered"
+BREAKER_OPEN = "breaker_open"
+BREAKER_HALF_OPEN = "breaker_half_open"
+BREAKER_CLOSE = "breaker_close"
+HEDGE = "hedge"
+FAILOVER = "failover"
+BROWNOUT = "brownout"
 # Numerical-stability guard vocabulary (detection and recovery transitions).
 SPIKE = "spike"
 ANOMALY = "anomaly"
@@ -53,6 +66,18 @@ EVENT_KINDS = (
     RESTORE,
     RECOVER,
     GIVE_UP,
+    REPLICA_CRASH,
+    REPLICA_SLOW,
+    PREDICT_FLAKY,
+    SERVABLE_CORRUPT,
+    REPLICA_UNHEALTHY,
+    REPLICA_RECOVERED,
+    BREAKER_OPEN,
+    BREAKER_HALF_OPEN,
+    BREAKER_CLOSE,
+    HEDGE,
+    FAILOVER,
+    BROWNOUT,
     SPIKE,
     ANOMALY,
     GRAD_NORM_ALERT,

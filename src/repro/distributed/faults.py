@@ -1,11 +1,17 @@
 """Deterministic fault injection for the simulated distributed stack.
 
-A :class:`FaultInjector` schedules a fixed set of faults — rank crashes,
-allreduce timeouts, corrupted gradient contributions — onto the stream of
-allreduce calls a training run performs.  Scheduling is fully seeded: the
-same profile + seed always produces the same faults at the same calls
-against the same victim ranks, so every fault scenario in the test suite
-and benches is reproducible bit-for-bit.
+The scheduling core is :class:`ChaosEngine`: a seeded planner that lands
+an ordered list of fault kinds at distinct positions of a discrete
+stream, drawing a victim index for targeted kinds.  Scheduling is fully
+seeded: the same kinds + seed always produce the same faults at the same
+positions against the same victims, so every chaos scenario in the test
+suite and benches is reproducible bit-for-bit.  Two consumers share it:
+
+* :class:`FaultInjector` (here) — training chaos over the allreduce call
+  stream: rank crashes, allreduce timeouts, corrupted gradients;
+* :mod:`repro.serving.resilience.chaos` — serving chaos over a traffic
+  trace: replica crashes, latency spikes, flaky predicts, corrupt
+  servable archives.
 
 Profiles are parsed from compact specs (the CLI's ``--fault-profile``):
 
@@ -22,7 +28,7 @@ version).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -87,16 +93,35 @@ class RetryPolicy:
 
     ``backoff(attempt)`` returns the simulated wait before re-attempting
     after the ``attempt``-th failure (0-indexed): base * factor**attempt.
+
+    ``jitter`` (opt-in, fraction in [0, 1)) decorrelates the waits: the
+    deterministic backoff is scaled by ``1 + jitter * u`` with ``u`` drawn
+    uniformly from [-1, 1) by a generator seeded from ``(jitter_seed, key,
+    attempt)``.  Identical retriers that pass distinct ``key`` values (a
+    rank, a request id) therefore spread out instead of re-colliding in a
+    synchronized retry storm — while any given ``(key, attempt)`` pair
+    always waits the exact same simulated time.  ``jitter=0.0`` (the
+    default) returns the undisturbed exponential schedule, bit for bit.
     """
 
     max_retries: int = 3
     backoff_base_s: float = 0.5
     backoff_factor: float = 2.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
-    def backoff(self, attempt: int) -> float:
+    def __post_init__(self):
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int, key: int = 0) -> float:
         if attempt < 0:
             raise ValueError(f"attempt must be >= 0, got {attempt}")
-        return self.backoff_base_s * self.backoff_factor**attempt
+        wait = self.backoff_base_s * self.backoff_factor**attempt
+        if self.jitter == 0.0:
+            return wait
+        rng = np.random.default_rng((self.jitter_seed, int(key), attempt))
+        return wait * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
 
 
 # --------------------------------------------------------------------------- #
@@ -148,7 +173,14 @@ class FaultProfile:
 
 @dataclass
 class PlannedFault:
-    """One scheduled fault: fires at a specific allreduce call."""
+    """One scheduled fault: fires at a specific schedule position.
+
+    ``call_index`` is the position in whatever discrete stream the engine
+    schedules over — an allreduce call index for training chaos, a
+    trace-fraction slot for serving chaos (see
+    :mod:`repro.serving.resilience.chaos`).  ``rank`` is the victim index
+    (a DDP rank, a serving replica) for targeted kinds.
+    """
 
     kind: str
     call_index: int
@@ -157,9 +189,95 @@ class PlannedFault:
 
 
 # --------------------------------------------------------------------------- #
-# Injector
+# Generic seeded chaos engine
 # --------------------------------------------------------------------------- #
-class FaultInjector:
+class ChaosEngine:
+    """Seeded planner of faults over a discrete stream of positions.
+
+    The shared scheduling core behind both training chaos
+    (:class:`FaultInjector`, positions = allreduce call indices, targets =
+    ranks) and serving chaos (positions = trace slots, targets = replica
+    indices).  One seed, one plan: the same ``(kinds, num_targets, seed,
+    horizon)`` always yields the same faults at the same positions against
+    the same victims, so every chaos scenario replays bit-for-bit.
+
+    Parameters
+    ----------
+    kinds:
+        The fault kinds to schedule, one entry per fault (order matters —
+        it is part of the seeded plan).
+    num_targets:
+        How many victims there are; targeted kinds draw a victim index
+        uniformly from ``[0, num_targets)``.
+    targeted:
+        The subset of kinds that need a victim index (others get ``None``).
+    seed / horizon:
+        Faults land at distinct positions drawn uniformly from
+        ``[0, horizon)``; runs shorter than the horizon never reach the
+        later faults.
+    events / clock:
+        Shared event log and simulated clock; created when not supplied.
+    """
+
+    def __init__(
+        self,
+        kinds: Sequence[str],
+        num_targets: int,
+        seed: int = 0,
+        horizon: int = 8,
+        targeted: Sequence[str] = (),
+        events: Optional[EventLog] = None,
+        clock: Optional[SimClock] = None,
+    ):
+        if num_targets < 1:
+            raise ValueError(f"num_targets must be >= 1, got {num_targets}")
+        if horizon < max(len(kinds), 1):
+            raise ValueError(
+                f"horizon {horizon} cannot hold {len(kinds)} scheduled faults"
+            )
+        self.kinds = list(kinds)
+        self.num_targets = num_targets
+        self.seed = seed
+        self.horizon = horizon
+        self.targeted = frozenset(targeted)
+        self.clock = clock if clock is not None else SimClock()
+        self.events = events if events is not None else EventLog(self.clock)
+        self.schedule: List[PlannedFault] = self._plan(np.random.default_rng(seed))
+        self._by_call: Dict[int, List[PlannedFault]] = {}
+        for fault in self.schedule:
+            self._by_call.setdefault(fault.call_index, []).append(fault)
+
+    def _plan(self, rng: np.random.Generator) -> List[PlannedFault]:
+        if not self.kinds:
+            return []
+        # Distinct positions so at most one fault fires per slot; victims
+        # drawn independently per fault.
+        calls = rng.choice(self.horizon, size=len(self.kinds), replace=False)
+        plan = []
+        for kind, call in zip(self.kinds, np.sort(calls)):
+            rank = (
+                int(rng.integers(self.num_targets))
+                if kind in self.targeted
+                else None
+            )
+            plan.append(PlannedFault(kind=kind, call_index=int(call), rank=rank))
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def at(self, position: int) -> List[PlannedFault]:
+        """All faults scheduled at ``position`` (fired or not)."""
+        return list(self._by_call.get(position, ()))
+
+    @property
+    def pending(self) -> int:
+        """Scheduled faults that have not fired yet."""
+        return sum(1 for f in self.schedule if not f.fired)
+
+
+# --------------------------------------------------------------------------- #
+# Training injector
+# --------------------------------------------------------------------------- #
+class FaultInjector(ChaosEngine):
     """Seeded scheduler of faults over the allreduce call stream.
 
     Parameters
@@ -196,36 +314,23 @@ class FaultInjector:
             raise ValueError(
                 f"horizon {horizon} cannot hold {profile.total} scheduled faults"
             )
+        kinds = (
+            [CRASH] * profile.crashes
+            + [TIMEOUT] * profile.timeouts
+            + [CORRUPT] * profile.corruptions
+        )
+        super().__init__(
+            kinds,
+            num_targets=world_size,
+            seed=seed,
+            horizon=horizon,
+            targeted=(CRASH, CORRUPT),
+            events=events,
+            clock=clock,
+        )
         self.profile = profile
         self.world_size = world_size
-        self.seed = seed
-        self.horizon = horizon
-        self.clock = clock if clock is not None else SimClock()
-        self.events = events if events is not None else EventLog(self.clock)
         self.dead_ranks: Set[int] = set()
-        self.schedule: List[PlannedFault] = self._plan(np.random.default_rng(seed))
-        self._by_call: Dict[int, List[PlannedFault]] = {}
-        for fault in self.schedule:
-            self._by_call.setdefault(fault.call_index, []).append(fault)
-
-    def _plan(self, rng: np.random.Generator) -> List[PlannedFault]:
-        kinds = (
-            [CRASH] * self.profile.crashes
-            + [TIMEOUT] * self.profile.timeouts
-            + [CORRUPT] * self.profile.corruptions
-        )
-        if not kinds:
-            return []
-        # Distinct call indices so at most one fault fires per collective;
-        # victims drawn independently per fault.
-        calls = rng.choice(self.horizon, size=len(kinds), replace=False)
-        plan = []
-        for kind, call in zip(kinds, np.sort(calls)):
-            rank = (
-                int(rng.integers(self.world_size)) if kind in (CRASH, CORRUPT) else None
-            )
-            plan.append(PlannedFault(kind=kind, call_index=int(call), rank=rank))
-        return plan
 
     # ------------------------------------------------------------------ #
     def poll(self, call_index: int, attempt: int) -> Optional[PlannedFault]:
@@ -251,8 +356,3 @@ class FaultInjector:
     def revive_all(self) -> None:
         """Bring crashed ranks back (checkpoint-recovery restarts them)."""
         self.dead_ranks.clear()
-
-    @property
-    def pending(self) -> int:
-        """Scheduled faults that have not fired yet."""
-        return sum(1 for f in self.schedule if not f.fired)

@@ -51,6 +51,21 @@ class Observer:
     def span(self, name: str, **attrs):
         return self.tracer.span(name, **attrs)
 
+    def span_at(self, name: str, start: float, end: float, **attrs):
+        """Record a span stretched onto a known [start, end] interval.
+
+        Discrete-event loops (the serving batcher, the replica pool) learn
+        a span's endpoints after the fact, on simulated time; the tracer
+        stamps spans from its own clock, so the span is opened/closed
+        immediately and its endpoints rewritten (``Span.start``/``end``
+        are plain attributes).  Returns the span.
+        """
+        with self.tracer.span(name, **attrs) as span:
+            pass
+        span.start = start
+        span.end = end
+        return span
+
     def profile(self):
         """Context manager activating the per-op profiler (no-op if absent)."""
         return self.op_profiler if self.op_profiler is not None else NULL_SPAN

@@ -11,7 +11,10 @@ trained surrogate models answering "heavy traffic from millions of users"
 * :class:`InferenceServer` / :class:`ServeReport` — the bundled server
   with observability and latency/throughput reduction (``server.py``);
 * :func:`poisson_arrivals` / :func:`make_requests` — seeded open-loop
-  traffic (``traffic.py``).
+  traffic (``traffic.py``);
+* :class:`ReplicaPool` and friends — replicated serving with health
+  checks, circuit breakers, hedging, failover, and seeded chaos
+  (``resilience/``, DESIGN.md §13).
 
 The core numerical guarantee: a request's prediction is bit-identical
 whether it is served alone or coalesced into any micro-batch, because all
@@ -25,9 +28,22 @@ from repro.serving.batcher import (
     MicroBatcher,
     Request,
     Response,
+    STATUS_FAILED,
     STATUS_OK,
     STATUS_SHED,
     STATUS_TIMEOUT,
+)
+from repro.serving.resilience import (
+    BreakerPolicy,
+    ChaosFault,
+    CircuitBreaker,
+    DegradationPolicy,
+    HealthChecker,
+    HealthPolicy,
+    HedgePolicy,
+    ReplicaPool,
+    ServingChaosProfile,
+    chaos_schedule,
 )
 from repro.serving.servable import (
     ModelRegistry,
@@ -49,18 +65,29 @@ __all__ = [
     "AdmissionPolicy",
     "AffineServiceModel",
     "BatchPolicy",
+    "BreakerPolicy",
+    "ChaosFault",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "HealthChecker",
+    "HealthPolicy",
+    "HedgePolicy",
     "InferenceServer",
     "MicroBatcher",
     "ModelRegistry",
+    "ReplicaPool",
     "Request",
     "Response",
+    "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_SHED",
     "STATUS_TIMEOUT",
     "Servable",
     "ServableSpec",
     "ServeReport",
+    "ServingChaosProfile",
     "calibrate_service_model",
+    "chaos_schedule",
     "load_servable",
     "make_requests",
     "poisson_arrivals",

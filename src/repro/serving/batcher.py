@@ -41,6 +41,8 @@ from repro.distributed.events import SimClock
 STATUS_OK = "ok"
 STATUS_SHED = "shed"
 STATUS_TIMEOUT = "timeout"
+#: Every attempt (including failovers) failed — replicated serving only.
+STATUS_FAILED = "failed"
 
 
 @dataclass
@@ -67,6 +69,8 @@ class Response:
     dispatched_at: Optional[float]
     completed_at: float
     batch_size: int = 0
+    #: Which replica answered (None for the single-server MicroBatcher).
+    replica: Optional[int] = None
 
     @property
     def latency(self) -> float:
@@ -144,19 +148,10 @@ class MicroBatcher:
             self.observer.metrics.histogram(name).observe(value)
 
     def _span(self, name: str, start: float, end: float, **attrs) -> None:
-        """Record a span stretched onto simulated [start, end].
-
-        The tracer stamps spans from its clock; the loop's clock has already
-        advanced past ``start`` by the time an outcome is known, so the span
-        is opened/closed immediately and its endpoints are rewritten to the
-        simulated interval (``Span.start``/``end`` are plain attributes).
-        """
+        """Record a span stretched onto simulated [start, end]."""
         if self.observer is None:
             return
-        with self.observer.span(name, **attrs) as span:
-            pass
-        span.start = start
-        span.end = end
+        self.observer.span_at(name, start, end, **attrs)
 
     # ------------------------------------------------------------------ #
     def run(self, requests: Sequence[Request]) -> List[Response]:

@@ -1,0 +1,49 @@
+"""Resilient replicated serving: health, breakers, hedging, chaos.
+
+See DESIGN.md §13.  The subpackage adds the failure story to the serving
+layer: a :class:`ReplicaPool` fronts N replicas of one servable behind a
+deterministic router with health checking (:class:`HealthChecker`),
+per-replica circuit breakers (:class:`CircuitBreaker`), hedged requests
+and failover retries (:class:`HedgePolicy` +
+:class:`~repro.distributed.faults.RetryPolicy`), and a graceful
+degradation ladder (:class:`DegradationPolicy`) — all on the shared
+simulated clock, all seeded, all bit-reproducible.  Chaos is planned by
+:func:`chaos_schedule` on the same engine that drives training faults.
+"""
+
+from repro.serving.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.serving.resilience.chaos import (
+    SERVING_FAULT_KINDS,
+    ChaosFault,
+    ServingChaosProfile,
+    chaos_schedule,
+)
+from repro.serving.resilience.health import HealthChecker, HealthPolicy
+from repro.serving.resilience.pool import (
+    DegradationPolicy,
+    HedgePolicy,
+    ReplicaPool,
+)
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "SERVING_FAULT_KINDS",
+    "ChaosFault",
+    "ServingChaosProfile",
+    "chaos_schedule",
+    "HealthChecker",
+    "HealthPolicy",
+    "DegradationPolicy",
+    "HedgePolicy",
+    "ReplicaPool",
+]

@@ -37,6 +37,7 @@ from repro.training.checkpoint_io import (
     CheckpointIntegrityError,
     load_module,
     save_module,
+    verify_archive,
 )
 
 SPEC_FILENAME = "servable.json"
@@ -223,3 +224,32 @@ class ModelRegistry:
         servable = load_servable(self.path(name))
         self._cache[name] = servable
         return servable
+
+    def verify(self) -> Dict[str, Dict[str, object]]:
+        """Integrity-check every servable; never raises.
+
+        For each registered name, parses the spec and CRC-verifies the
+        weight archive (:func:`~repro.training.checkpoint_io.verify_archive`
+        — the same check loading performs, without building the module).
+        Returns ``{name: {"ok": bool, ...}}`` with array/byte counts on
+        success and the failure reason otherwise; ``repro registry
+        verify`` prints exactly this.
+        """
+        results: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            directory = self.path(name)
+            try:
+                with open(os.path.join(directory, SPEC_FILENAME)) as fh:
+                    spec = ServableSpec.from_json(fh.read())
+                info = verify_archive(os.path.join(directory, WEIGHTS_FILENAME))
+            except (CheckpointIntegrityError, OSError, json.JSONDecodeError, TypeError) as exc:
+                results[name] = {"ok": False, "error": str(exc)}
+                continue
+            results[name] = {
+                "ok": True,
+                "target": spec.target,
+                "encoder": spec.encoder_name,
+                "arrays": info["arrays"],
+                "bytes": info["bytes"],
+            }
+        return results

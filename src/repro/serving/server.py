@@ -94,11 +94,20 @@ class ServeReport:
     ok: int
     shed: int
     timeout: int
+    #: Requests whose every attempt (including failovers) failed.
+    failed: int = 0
     metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
-        return self.ok + self.shed + self.timeout
+        return self.ok + self.shed + self.timeout + self.failed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests answered OK (0.0 on an empty trace)."""
+        if self.total == 0:
+            return 0.0
+        return self.ok / self.total
 
     def goodput(self, slo: float) -> float:
         """Completed-within-SLO requests per simulated second."""
@@ -106,11 +115,14 @@ class ServeReport:
         if not good:
             return 0.0
         span = max(r.completed_at for r in good) - min(r.arrival for r in self.responses)
-        return len(good) / max(span, 1e-12)
+        if span <= 0:
+            return 0.0
+        return len(good) / span
 
     def summary(self) -> str:
         return (
-            f"{self.ok}/{self.total} ok ({self.shed} shed, {self.timeout} timeout), "
+            f"{self.ok}/{self.total} ok ({self.shed} shed, {self.timeout} timeout, "
+            f"{self.failed} failed), availability {self.availability:.3f}, "
             f"p50 {self.p50_latency * 1e3:.2f} ms, p99 {self.p99_latency * 1e3:.2f} ms, "
             f"{self.throughput:.1f} req/s, mean batch {self.mean_batch_size:.2f}"
         )
@@ -148,14 +160,20 @@ class InferenceServer:
 def summarize(
     responses: Sequence[Response], observer: Optional[Observer] = None
 ) -> ServeReport:
-    """Reduce raw responses to the report the benches and CLI print."""
+    """Reduce raw responses to the report the benches and CLI print.
+
+    Degenerate traces reduce without raising: an empty response list, a
+    trace where nothing completed, or a single instantaneous completion
+    (zero observation span) all yield a report with 0.0 throughput rather
+    than a division error — chaos runs can and do produce all three.
+    """
     completed = [r for r in responses if r.ok]
     latencies = np.array([r.latency for r in completed], dtype=np.float64)
     if len(completed) >= 1:
         span = max(r.completed_at for r in completed) - min(
             r.arrival for r in responses
         )
-        throughput = len(completed) / max(span, 1e-12)
+        throughput = len(completed) / span if span > 0 else 0.0
         p50 = float(np.percentile(latencies, 50))
         p99 = float(np.percentile(latencies, 99))
         mean_batch = float(np.mean([r.batch_size for r in completed]))
@@ -170,5 +188,6 @@ def summarize(
         ok=len(completed),
         shed=sum(r.status == "shed" for r in responses),
         timeout=sum(r.status == "timeout" for r in responses),
+        failed=sum(r.status == "failed" for r in responses),
         metrics=observer.metrics.snapshot() if observer is not None else {},
     )

@@ -27,6 +27,8 @@ MARKERS = [
     "state, bit-identity); select with -m shard",
     "serve: online serving scenarios (micro-batching, registry, batch "
     "bit-identity); select with -m serve",
+    "chaos: resilient-serving chaos scenarios (replica pool, breakers, "
+    "hedging, seeded fault schedules); select with -m chaos",
 ]
 
 

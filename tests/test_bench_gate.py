@@ -177,6 +177,29 @@ class TestSuiteRegistration:
         # at the fixed p99 SLO.
         assert gain["value"] > 1.0
 
+    def test_resilience_suite_registered(self, gate_script):
+        assert "resilience" in gate_script.SUITES
+        module, baseline = gate_script.SUITES["resilience"]
+        assert baseline.endswith("BENCH_resilience.json")
+        assert hasattr(module, "collect_results")
+        assert hasattr(module, "print_results")
+
+    def test_committed_resilience_baseline_gates_availability(self, gate_script):
+        _, baseline = gate_script.SUITES["resilience"]
+        payload = load_bench_json(baseline)
+        by_name = {r["name"]: r for r in payload["results"]}
+        pool = by_name["resilience.availability.pool"]
+        gain = by_name["resilience.availability.gain"]
+        # Both gated by default so a regression in fault coverage fails CI.
+        assert pool["kind"] == "speedup" and gain["kind"] == "speedup"
+        # The acceptance bar: the pool holds >= 0.95 availability under the
+        # pinned chaos schedule that drags the bare baseline below 0.75.
+        assert pool["value"] >= 0.95
+        assert gain["value"] > 1.0
+        assert by_name["resilience.availability.baseline"]["value"] < 0.75
+        # Every delivered response matched the fault-free run bit for bit.
+        assert by_name["resilience.bit_identical"]["value"] == 1.0
+
 
 # --------------------------------------------------------------------------- #
 # Tiny serving-suite integration (simulated clock, so cheap but marked
@@ -205,6 +228,25 @@ def test_serving_suite_tiny_is_deterministic(tmp_path):
     }
     assert stable == stable2
     path = tmp_path / "BENCH_serving_tiny.json"
+    assert run_gate(first, str(path)) == EXIT_PASS  # bootstrap
+    assert run_gate(second, str(path)) == EXIT_PASS  # self-compare
+
+
+@pytest.mark.chaos
+def test_resilience_suite_tiny_is_deterministic(tmp_path):
+    from benchmarks.bench_resilience import collect_results
+
+    first = collect_results(rounds=1, warmup=0, tiny=True)
+    second = collect_results(rounds=1, warmup=0, tiny=True)
+    by_name = {r["name"]: r["value"] for r in first}
+    assert by_name["resilience.availability.pool"] >= 0.95
+    assert by_name["resilience.availability.baseline"] < 0.75
+    assert by_name["resilience.bit_identical"] == 1.0
+    # The whole suite runs on the reference service model + simulated
+    # clock, so every entry is bit-reproducible between runs.
+    assert [(r["name"], r["value"]) for r in first] == \
+        [(r["name"], r["value"]) for r in second]
+    path = tmp_path / "BENCH_resilience_tiny.json"
     assert run_gate(first, str(path)) == EXIT_PASS  # bootstrap
     assert run_gate(second, str(path)) == EXIT_PASS  # self-compare
 

@@ -26,6 +26,35 @@ class TestParser:
         assert args.world_size == 16
         assert not args.pretrained
 
+    def test_serve_resilience_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--registry", "/tmp/reg", "--replicas", "3",
+            "--chaos-profile", "replica_crash:1,replica_slow:1",
+            "--chaos-seed", "7", "--hedge-ms", "2.5",
+        ])
+        assert args.replicas == 3
+        assert args.chaos_profile == "replica_crash:1,replica_slow:1"
+        assert args.chaos_seed == 7
+        assert args.hedge_ms == 2.5
+
+    def test_serve_resilience_defaults_to_single_replica(self):
+        args = build_parser().parse_args(["serve", "--registry", "/tmp/reg"])
+        assert args.replicas == 1
+        assert args.chaos_profile is None
+        assert args.hedge_ms == 5.0
+
+    def test_registry_verify_parses(self):
+        args = build_parser().parse_args(
+            ["registry", "verify", "--registry", "/tmp/reg"]
+        )
+        assert args.command == "registry"
+        assert args.registry_command == "verify"
+        assert args.registry == "/tmp/reg"
+
+    def test_registry_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry"])
+
 
 class TestExecution:
     def test_datasets_command(self, capsys):

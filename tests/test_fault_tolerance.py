@@ -161,6 +161,46 @@ class TestRetryBackoffAllreduce:
         policy = RetryPolicy(max_retries=3, backoff_base_s=0.5, backoff_factor=2.0)
         assert [policy.backoff(a) for a in range(3)] == [0.5, 1.0, 2.0]
 
+    def test_zero_jitter_is_bit_identical_to_plain_schedule(self):
+        plain = RetryPolicy(max_retries=3, backoff_base_s=0.5, backoff_factor=2.0)
+        opted = RetryPolicy(
+            max_retries=3, backoff_base_s=0.5, backoff_factor=2.0,
+            jitter=0.0, jitter_seed=99,
+        )
+        for attempt in range(4):
+            for key in (0, 7, 123):
+                assert opted.backoff(attempt, key=key) == plain.backoff(attempt)
+
+    def test_jitter_stays_within_fraction_and_is_deterministic(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_base_s=0.5, backoff_factor=2.0,
+            jitter=0.25, jitter_seed=3,
+        )
+        twin = RetryPolicy(
+            max_retries=3, backoff_base_s=0.5, backoff_factor=2.0,
+            jitter=0.25, jitter_seed=3,
+        )
+        for attempt in range(3):
+            base = 0.5 * 2.0**attempt
+            for key in range(8):
+                wait = policy.backoff(attempt, key=key)
+                assert base * 0.75 <= wait <= base * 1.25
+                # Same (seed, key, attempt) always waits the same time.
+                assert wait == twin.backoff(attempt, key=key)
+
+    def test_jitter_decorrelates_distinct_keys(self):
+        policy = RetryPolicy(backoff_base_s=0.5, jitter=0.5, jitter_seed=0)
+        waits = {policy.backoff(0, key=k) for k in range(16)}
+        assert len(waits) > 1  # retriers spread out, no synchronized storm
+        reseeded = RetryPolicy(backoff_base_s=0.5, jitter=0.5, jitter_seed=1)
+        assert policy.backoff(0, key=5) != reseeded.backoff(0, key=5)
+
+    def test_jitter_fraction_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
     def test_timeout_retries_and_result_matches_healthy(self):
         values = [np.arange(4.0) + r for r in range(4)]
         healthy = SimComm(4).allreduce(values, op="mean")
