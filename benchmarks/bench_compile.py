@@ -1,0 +1,171 @@
+"""Tape-compiler benchmark: cached plan replay vs the eager training step.
+
+The compiler's payoff case is a *recurring* batch: the first step traces,
+optimizes, memory-plans, and bitwise-validates a plan; every later step
+with the same batch bytes replays the flat instruction list straight from
+the cache, skipping module traversal and tape bookkeeping.  Both arms run
+with fused kernels on — the baseline here is the post-PR-4 hot path, so
+the gated ratio is the compiler's speedup *on top of* the 1.52x e2e gain
+already pinned in ``BENCH_hotpaths.json``.
+
+Gated entries (speedup kind):
+
+* ``compile.train_step`` — replayed step vs eager step, same task, same
+  batch, interleaved rounds.
+
+Ungated context (metric kind): one-time trace cost relative to a steady
+step, plan/arena accounting, and the cache hit rate over the run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (  # noqa: E402
+    bench_result,
+    compare_callables,
+    print_header,
+    time_callable,
+)
+from repro.compiler import (  # noqa: E402
+    compiled_training_step,
+    get_plan_cache,
+    reset_plan_cache,
+    trace_function,
+)
+from repro.data.batching import collate_graphs  # noqa: E402
+from repro.data.transforms import StructureToGraph  # noqa: E402
+from repro.datasets import SymmetryPointCloudDataset  # noqa: E402
+from repro.kernels.dispatch import use_fused  # noqa: E402
+from repro.models import EGNN  # noqa: E402
+from repro.tasks import MultiClassClassificationTask  # noqa: E402
+
+
+def _training_setup(tiny: bool):
+    """One fixed (task, batch): the recurring-batch scenario."""
+    rng = np.random.default_rng(7)
+    count = 8 if tiny else 16
+    hidden = 16 if tiny else 32
+    ds = SymmetryPointCloudDataset(count, seed=5, group_names=["C2", "C4", "D2", "Oh"])
+    tf = StructureToGraph(cutoff=2.5)
+    batch = collate_graphs([tf(ds[i]) for i in range(count)])
+    enc = EGNN(hidden_dim=hidden, num_layers=3, position_dim=12, num_species=4, rng=rng)
+    task = MultiClassClassificationTask(
+        enc, num_classes=4, hidden_dim=hidden, num_blocks=2, rng=rng
+    )
+    return batch, task
+
+
+def bench_compiled_step(rounds: int, warmup: int, tiny: bool = False) -> List[Dict]:
+    """The acceptance measurement: cached replay vs the eager fused step.
+
+    Both arms cover exactly what the compiler replaces — forward plus
+    backward on the live parameters; the optimizer update is identical
+    code either way, so timing it would only dilute the ratio.  The gain
+    is modest by construction: the eager arm already runs fused kernels,
+    so the replay's edge is the extra pattern rewrites and dead nodes the
+    passes strip plus the skipped module traversal.  Warmup absorbs the
+    one-time trace + validate; every timed compiled round is a cache hit
+    (asserted via the stats).
+    """
+    batch, task = _training_setup(tiny)
+    reset_plan_cache()
+
+    def compiled_arm():
+        task.zero_grad()
+        with use_fused(True):
+            loss, _ = compiled_training_step(task, batch)
+        return float(loss.data)
+
+    def eager_arm():
+        task.zero_grad()
+        with use_fused(True):
+            loss, _ = task.training_step(batch)
+            loss.backward()
+        return float(loss.data)
+
+    compiled_t, eager_t = compare_callables(
+        compiled_arm, eager_arm, rounds=rounds, warmup=max(warmup, 1)
+    )
+    stats = get_plan_cache().stats()
+    if stats["validation_failures"] or stats["fallbacks"]:
+        raise RuntimeError(f"compiled arm did not stay on the plan path: {stats}")
+    return [
+        bench_result(
+            "compile.train_step", "speedup", eager_t / compiled_t, "x",
+            compiled_seconds=compiled_t, eager_seconds=eager_t,
+        ),
+        bench_result("compile.train_step.time", "time", compiled_t, "s"),
+        bench_result("compile.cache.hit_rate", "metric", stats["hit_rate"], "ratio"),
+    ]
+
+
+def bench_trace_overhead(rounds: int, warmup: int, tiny: bool = False) -> List[Dict]:
+    """One-time compile cost and the plan's memory accounting, as context.
+
+    Neither entry is gated: the trace ratio says how many replayed steps
+    amortize a compile, the peak ratio says how much of the eager live-set
+    the static arena plan needs.  Both are properties of the graph, not of
+    machine speed, but they drift with planner changes — worth printing.
+    """
+    batch, task = _training_setup(tiny)
+
+    def fn():
+        loss, _, outputs = task.training_step_traced(batch)
+        return loss, outputs
+
+    with use_fused(True):
+        trace_t = time_callable(
+            lambda: trace_function(fn, rewrite=True), rounds=rounds, warmup=warmup
+        )
+        result = trace_function(fn, rewrite=True)
+
+        def eager_fwd_bwd():
+            loss, _ = task.training_step(batch)
+            loss.backward()
+            task.zero_grad()
+
+        eager_t = time_callable(eager_fwd_bwd, rounds=rounds, warmup=warmup)
+    memory = result.plan.memory
+    return [
+        bench_result(
+            "compile.trace_overhead", "metric", trace_t / eager_t, "x",
+            trace_seconds=trace_t, eager_seconds=eager_t,
+        ),
+        bench_result(
+            "compile.plan.peak_ratio", "metric",
+            memory.plan_peak / memory.eager_peak, "ratio",
+            plan_peak_bytes=memory.plan_peak,
+            eager_peak_bytes=memory.eager_peak,
+            arena_bytes=memory.arena_bytes,
+        ),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+def collect_results(
+    rounds: int = 5, warmup: int = 1, tiny: bool = False
+) -> List[Dict]:
+    """Run the compiler suite; returns schema entries for the gate."""
+    results: List[Dict] = []
+    results += bench_compiled_step(rounds, warmup, tiny)
+    results += bench_trace_overhead(rounds, warmup, tiny)
+    return results
+
+
+def print_results(results: List[Dict]) -> None:
+    """Human-readable table of the collected measurements."""
+    print_header("Tape-compiler benchmarks (plan replay vs eager)")
+    print(f"{'name':<32} {'kind':<8} {'value':>12}")
+    for r in results:
+        if r["kind"] == "time":
+            value = f"{r['value'] * 1e3:.2f} ms"
+        else:
+            value = f"{r['value']:.3f}{r['unit']}"
+        print(f"{r['name']:<32} {r['kind']:<8} {value:>12}")

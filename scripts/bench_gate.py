@@ -12,9 +12,10 @@ Usage (from the repo root, with ``PYTHONPATH=src:.``)::
 Suites: ``hotpaths`` (fused kernels + caching, vs
 ``benchmarks/BENCH_hotpaths.json``), ``sharding`` (ZeRO bucketed comm,
 vs ``benchmarks/BENCH_sharding.json``), ``serving`` (micro-batched
-goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``), and
+goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``),
 ``resilience`` (replicated-pool availability under seeded chaos, vs
-``benchmarks/BENCH_resilience.json``).
+``benchmarks/BENCH_resilience.json``), and ``compile`` (tape-compiler
+plan replay vs the eager step, vs ``benchmarks/BENCH_compile.json``).
 
 Speedup ratios are gated by default (machine-portable); absolute times
 only with ``--absolute`` since they don't transfer across machines.
@@ -32,6 +33,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from benchmarks import (  # noqa: E402
+    bench_compile,
     bench_hotpaths,
     bench_resilience,
     bench_serving,
@@ -53,6 +55,7 @@ SUITES = {
         bench_resilience,
         os.path.join(_BENCH_DIR, "BENCH_resilience.json"),
     ),
+    "compile": (bench_compile, os.path.join(_BENCH_DIR, "BENCH_compile.json")),
 }
 
 

@@ -9,6 +9,8 @@
 #   SMOKE_LANE=serve   serving suite (-m serve) plus a predict/serve CLI smoke
 #   SMOKE_LANE=chaos   resilience suite (-m chaos) plus a replicated-serve
 #                      CLI smoke under a seeded chaos profile
+#   SMOKE_LANE=compile tape-compiler suite (-m compile) plus a --compile
+#                      CLI smoke and the compiler bench gate
 #   SMOKE_LANE=full    the whole suite, markers included
 #
 # Scenario suites run on demand: -m fault / -m stability / -m profile.
@@ -80,11 +82,25 @@ chaos)
     PYTHONPATH=src:. python scripts/bench_gate.py --suite resilience
     exit 0
     ;;
+compile)
+    PYTHONPATH=src python -m pytest -x -q -m compile "$@"
+    # End to end: the --compile CLI path must trace, validate, and replay,
+    # and report the plan-cache counters when the run finishes.
+    COMPILE_OUT="$(PYTHONPATH=src python -m repro.cli pretrain \
+        --steps 3 --samples 16 --world-size 2 --hidden-dim 16 --layers 2 \
+        --epochs 2 --compile)"
+    grep -q "tape compiler: on" <<<"$COMPILE_OUT"
+    grep -q "tape compiler: hits=" <<<"$COMPILE_OUT"
+    echo "compile smoke ok"
+    # Gate the compiler bench against its committed baseline.
+    PYTHONPATH=src:. python scripts/bench_gate.py --suite compile
+    exit 0
+    ;;
 full)
     PYTHONPATH=src python -m pytest -x -q "$@"
     ;;
 *)
-    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|full)" >&2
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|compile|full)" >&2
     exit 2
     ;;
 esac

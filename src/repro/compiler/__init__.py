@@ -1,0 +1,60 @@
+"""Tape compiler: record a training step's autograd tape, optimize it
+(CSE, fused-kernel rewrites, dead-node pruning), plan its memory into a
+reusable buffer arena, and replay it — proven bit-identical to eager by a
+trace-time validation replay and the differential fuzz harness.
+
+See DESIGN.md §14 for the graph IR, rewrite rules, liveness/arena
+algorithm, and fallback semantics.
+"""
+
+from repro.compiler.cache import (
+    PlanCache,
+    batch_fingerprint,
+    compile_stats,
+    get_plan_cache,
+    plan_key,
+    publish_compile_metrics,
+    reset_plan_cache,
+    task_fingerprint,
+)
+from repro.compiler.dispatch import compiled_enabled, set_compiled, use_compiled
+from repro.compiler.passes import Program, optimize
+from repro.compiler.plan import CompiledPlan, build_plan
+from repro.compiler.planner import MemoryPlan, plan_memory
+from repro.compiler.recorder import Trace, record_tape
+from repro.compiler.registry import UnsupportedOp
+from repro.compiler.step import (
+    TraceResult,
+    compile_trace,
+    compiled_training_step,
+    trace_function,
+    validate_plan,
+)
+
+__all__ = [
+    "PlanCache",
+    "batch_fingerprint",
+    "compile_stats",
+    "get_plan_cache",
+    "plan_key",
+    "publish_compile_metrics",
+    "reset_plan_cache",
+    "task_fingerprint",
+    "compiled_enabled",
+    "set_compiled",
+    "use_compiled",
+    "Program",
+    "optimize",
+    "CompiledPlan",
+    "build_plan",
+    "MemoryPlan",
+    "plan_memory",
+    "Trace",
+    "record_tape",
+    "UnsupportedOp",
+    "TraceResult",
+    "compile_trace",
+    "compiled_training_step",
+    "trace_function",
+    "validate_plan",
+]

@@ -1,0 +1,184 @@
+"""Plan caching keyed by shape-signature fingerprints, plus compile stats.
+
+Same idiom as :mod:`repro.data.cache`: a sha1 content hash over dtype +
+shape + bytes.  The *batch* side hashes every array a
+:class:`~repro.data.structures.GraphBatch` carries (positions, species,
+connectivity, optional edge features, sorted targets) — a hit therefore
+guarantees the replayed step sees byte-identical inputs.  The *task* side
+hashes parameter shapes/dtypes (not values — parameters change every
+step), the task class, the kernel-dispatch mode, and a plan-format
+version, so reconfiguring anything that changes the recorded graph can
+never serve a stale plan.  The key is stable across processes for
+identical shape signatures because it contains no ``id()``s or pointers.
+
+Trace attempts are budgeted per cache instance: shuffled loaders produce
+a new fingerprint almost every step, and tracing costs an extra replay —
+after ``trace_budget`` misses that traced, further misses run eager.
+
+Counters mirror the data-cache stats surface and are exported through the
+metrics registry via :func:`publish_compile_metrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Bump when the plan format / pass pipeline changes incompatibly.
+PLAN_VERSION = 1
+
+DEFAULT_PLAN_CAPACITY = 32
+DEFAULT_TRACE_BUDGET = 64
+
+
+def batch_fingerprint(batch) -> str:
+    """Content hash of a GraphBatch: every array, plus graph count."""
+    digest = hashlib.sha1()
+
+    def update(tag: str, arr) -> None:
+        arr = np.ascontiguousarray(arr)
+        digest.update(tag.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+
+    update("positions", batch.positions)
+    update("species", batch.species)
+    update("edge_src", batch.edge_src)
+    update("edge_dst", batch.edge_dst)
+    update("node_graph", batch.node_graph)
+    digest.update(f"num_graphs={int(batch.num_graphs)}".encode())
+    if batch.edge_attr is not None:
+        update("edge_attr", batch.edge_attr)
+    for name in sorted(batch.targets):
+        update(f"target:{name}", batch.targets[name])
+    return digest.hexdigest()
+
+
+def task_fingerprint(task) -> str:
+    """Shape signature of the model: parameter shapes/dtypes + mode flags."""
+    from repro.kernels.dispatch import fused_enabled
+
+    digest = hashlib.sha1()
+    digest.update(f"plan-v{PLAN_VERSION}".encode())
+    digest.update(type(task).__name__.encode())
+    digest.update(f"fused={int(fused_enabled())}".encode())
+    digest.update(f"training={int(getattr(task, 'training', True))}".encode())
+    for param in task.parameters():
+        digest.update(str(param.data.dtype).encode())
+        digest.update(str(param.data.shape).encode())
+    return digest.hexdigest()
+
+
+def plan_key(task, batch) -> str:
+    """Content-addressed cache key: task signature + batch byte fingerprint."""
+    return task_fingerprint(task) + ":" + batch_fingerprint(batch)
+
+
+class PlanCache:
+    """LRU cache of compiled plans with a bounded trace budget."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_PLAN_CAPACITY,
+        trace_budget: int = DEFAULT_TRACE_BUDGET,
+        name: str = "plans",
+    ):
+        self.capacity = int(capacity)
+        self.trace_budget = int(trace_budget)
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.traces = 0
+        self.taints = 0
+        self.validation_failures = 0
+        self.fallbacks = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return plan
+
+    def put(self, key: str, plan) -> None:
+        plan.fingerprint = key
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def may_trace(self) -> bool:
+        """Whether the trace budget allows compiling another plan."""
+        with self._lock:
+            return self.traces < self.trace_budget
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "hit_rate": self.hits / total if total else 0.0,
+                "traces": float(self.traces),
+                "taints": float(self.taints),
+                "validation_failures": float(self.validation_failures),
+                "fallbacks": float(self.fallbacks),
+                "evictions": float(self.evictions),
+                "plans": float(len(self._entries)),
+            }
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide cache (the dispatch path in repro.compiler.step uses this)
+# --------------------------------------------------------------------------- #
+_CACHE: Optional[PlanCache] = None
+_CACHE_LOCK = threading.Lock()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache (created on first use, thread-safe)."""
+    global _CACHE
+    with _CACHE_LOCK:
+        if _CACHE is None:
+            _CACHE = PlanCache()
+        return _CACHE
+
+
+def reset_plan_cache() -> PlanCache:
+    """Drop all plans and zero the counters (tests, reconfig)."""
+    global _CACHE
+    with _CACHE_LOCK:
+        _CACHE = PlanCache()
+        return _CACHE
+
+
+def compile_stats() -> Dict[str, float]:
+    """Counter snapshot for the process-wide plan cache."""
+    return get_plan_cache().stats()
+
+
+def publish_compile_metrics(registry, prefix: str = "compile") -> None:
+    """Export plan-cache stats as gauges (mirrors publish_cache_metrics)."""
+    cache = get_plan_cache()
+    for key, value in cache.stats().items():
+        registry.gauge(f"{prefix}.{cache.name}.{key}").set(value)

@@ -1,0 +1,45 @@
+"""Compiled-step selection: ``REPRO_COMPILE`` / set_compiled / use_compiled.
+
+Mirror of :mod:`repro.kernels.dispatch`.  Default is *off* — the compiled
+path must be opted into (``REPRO_COMPILE=1``, ``--compile``, or
+``set_compiled(True)``); any unsupported node, taint, or validation
+mismatch falls back to the eager step, so enabling it never changes
+semantics, only how a supported step is executed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_COMPILE", "0").strip().lower() not in _FALSY
+
+
+_COMPILED = _env_enabled()
+
+
+def compiled_enabled() -> bool:
+    """Whether the tape compiler is currently selected."""
+    return _COMPILED
+
+
+def set_compiled(enabled: bool) -> bool:
+    """Set the global compile flag; returns the previous value."""
+    global _COMPILED
+    previous = _COMPILED
+    _COMPILED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_compiled(enabled: bool = True):
+    """Scoped override of the compile flag."""
+    previous = set_compiled(enabled)
+    try:
+        yield
+    finally:
+        set_compiled(previous)

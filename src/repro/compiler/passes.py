@@ -1,0 +1,243 @@
+"""Graph optimization passes: CSE, fused-kernel rewrites, dead-node pruning.
+
+Input is a :class:`~repro.compiler.recorder.Trace`; output is a
+:class:`Program` — the ordered, pruned node list the planner and the
+instruction builder consume.  Pass order:
+
+1. **CSE** merges structurally identical pure nodes, restricted to nodes
+   *outside* the loss ancestry: merging two grad-carrying nodes would
+   reroute gradient accumulation through a single node, changing the IEEE
+   summation order.  Restricted this way, CSE is bitwise-safe for every
+   input by construction.
+2. **Fusion** applies :data:`repro.kernels.patterns.PATTERNS`, scanning
+   roots in descending slot order (a chain's last node matches before its
+   interior could be claimed by a smaller pattern).  Matched interiors
+   lose their only consumers and fall to DCE.
+3. **DCE** keeps ancestors of the loss, the task outputs, and every
+   dropout node.  Dropout is pinned even when its output is dead because
+   replay must consume the generator stream exactly as eager did.
+
+Slot numbering is preserved throughout (a synthetic fused node takes the
+slot of the pattern's last member), so ascending slot order remains a
+topological execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import registry
+from repro.compiler.recorder import TapeLeaf, TapeNode, Trace
+from repro.compiler.registry import UnsupportedOp
+
+_DROPOUT_OP = ("repro.autograd.functional", "dropout")
+
+
+class Program:
+    """The optimized graph: entries by slot plus derived execution data."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.entries: List[object] = list(trace.entries)
+        self.alias: Dict[int, int] = {}
+        self.order: List[int] = []  # kept node slots, ascending (topological)
+        self.consumers: Dict[int, Tuple[int, ...]] = {}
+        self.loss_slot: int = -1
+        self.output_slots: Dict[str, int] = {}
+        self.leaf_slots: List[int] = []
+        self.dropout_slots: List[int] = []
+        self.stats: Dict[str, int] = {}
+
+    # -- structural helpers (also the GraphView protocol for patterns) ------ #
+    def resolve(self, slot: int) -> int:
+        alias = self.alias
+        while slot in alias:
+            slot = alias[slot]
+        return slot
+
+    def node(self, slot: int) -> Optional[TapeNode]:
+        entry = self.entries[self.resolve(slot)]
+        return entry if isinstance(entry, TapeNode) else None
+
+    def leaf(self, slot: int) -> Optional[TapeLeaf]:
+        entry = self.entries[self.resolve(slot)]
+        return entry if isinstance(entry, TapeLeaf) else None
+
+    def parents(self, node: TapeNode) -> Tuple[int, ...]:
+        return tuple(self.resolve(p) for p in node.parents)
+
+    def shape(self, slot: int) -> Tuple[int, ...]:
+        entry = self.entries[self.resolve(slot)]
+        tensor = entry.out if isinstance(entry, TapeNode) else entry.tensor
+        return tensor.data.shape
+
+    def ndim(self, slot: int) -> int:
+        return len(self.shape(slot))
+
+    def protected(self, slot: int) -> bool:
+        slot = self.resolve(slot)
+        return slot in self._protected
+
+    def consumers_of(self, slot: int) -> Tuple[int, ...]:
+        return self.consumers.get(self.resolve(slot), ())
+
+    def _rebuild_consumers(self, slots) -> Dict[int, List[int]]:
+        consumers: Dict[int, List[int]] = {}
+        for slot in slots:
+            entry = self.entries[slot]
+            if isinstance(entry, TapeNode):
+                for p in self.parents(entry):
+                    consumers.setdefault(p, []).append(slot)
+        return consumers
+
+    # kept as a plain attribute set during optimize()
+    _protected: frozenset = frozenset()
+
+
+def _loss_ancestry(program: Program, loss_slot: int) -> set:
+    """Slots of requires-grad nodes reachable from the loss — the set whose
+    backward closures fire (the engine only retains ``_parents`` on
+    requires-grad tensors, so traversal stops at non-grad nodes)."""
+    fires = set()
+    stack = [loss_slot]
+    seen = set()
+    while stack:
+        slot = stack.pop()
+        if slot in seen:
+            continue
+        seen.add(slot)
+        entry = program.entries[slot]
+        if isinstance(entry, TapeNode) and entry.requires_grad:
+            fires.add(slot)
+            stack.extend(program.resolve(p) for p in entry.parents)
+    return fires
+
+
+def _cse(program: Program, fires: set) -> int:
+    merged = 0
+    seen: Dict[tuple, int] = {}
+    for slot, entry in enumerate(program.entries):
+        if not isinstance(entry, TapeNode) or slot in fires:
+            continue
+        if program.resolve(slot) != slot or program.protected(slot):
+            continue
+        try:
+            spec = registry.spec_for(entry.op)
+        except UnsupportedOp:
+            continue
+        if not spec.pure or spec.cse_args is None:
+            continue
+        args = spec.cse_args(entry)
+        if args is None:
+            continue
+        key = (entry.op, program.parents(entry), args)
+        try:
+            hash(key)
+        except TypeError:
+            continue
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = slot
+        elif program.shape(prior) == entry.out_shape:
+            program.alias[slot] = prior
+            merged += 1
+    return merged
+
+
+def _fuse(program: Program) -> int:
+    from repro.kernels.patterns import PATTERNS
+
+    applied = 0
+    consumed: set = set()
+    node_slots = [
+        s
+        for s, e in enumerate(program.entries)
+        if isinstance(e, TapeNode) and program.resolve(s) == s
+    ]
+    consumers = program._rebuild_consumers(node_slots)
+    program.consumers = {s: tuple(c) for s, c in consumers.items()}
+    for slot in reversed(node_slots):
+        if slot in consumed:
+            continue
+        for pattern in PATTERNS:
+            rewrite = pattern(slot, program)
+            if rewrite is None:
+                continue
+            if rewrite.members & consumed:
+                continue
+            program.entries[slot] = rewrite.node
+            consumed |= rewrite.members
+            applied += 1
+            # Interior nodes lost their only consumer; refresh the map so
+            # later (smaller-slot) matches see the rewritten graph.
+            consumers = program._rebuild_consumers(node_slots)
+            program.consumers = {s: tuple(c) for s, c in consumers.items()}
+            break
+    return applied
+
+
+def _dce(program: Program, roots) -> set:
+    keep = set()
+    stack = [program.resolve(r) for r in roots]
+    while stack:
+        slot = stack.pop()
+        if slot in keep:
+            continue
+        keep.add(slot)
+        entry = program.entries[slot]
+        if isinstance(entry, TapeNode):
+            stack.extend(program.parents(entry))
+    return keep
+
+
+def optimize(
+    trace: Trace,
+    loss,
+    outputs: Dict[str, object],
+    rewrite: bool = True,
+) -> Program:
+    """Run CSE -> fusion -> DCE over a recorded trace.
+
+    ``rewrite=False`` skips the fusion pass (used by the differential
+    fuzz harness to isolate the bitwise-by-construction passes).
+    """
+    program = Program(trace)
+    loss_slot = trace.slot_for(loss)
+    if loss_slot is None:
+        raise UnsupportedOp("loss tensor was not recorded on the tape")
+    program.dropout_slots = [
+        s
+        for s, e in enumerate(program.entries)
+        if isinstance(e, TapeNode) and e.op == _DROPOUT_OP
+    ]
+    output_slots: Dict[str, int] = {}
+    for name, tensor in (outputs or {}).items():
+        slot = trace.slot_for(tensor)
+        if slot is None:
+            raise UnsupportedOp(f"output {name!r} was not recorded on the tape")
+        output_slots[name] = slot
+    program._protected = frozenset(
+        [loss_slot] + list(output_slots.values()) + program.dropout_slots
+    )
+
+    fires = _loss_ancestry(program, loss_slot)
+    program.stats["cse_merged"] = _cse(program, fires)
+    program.stats["fused_rewrites"] = _fuse(program) if rewrite else 0
+
+    roots = [loss_slot] + list(output_slots.values()) + program.dropout_slots
+    keep = _dce(program, roots)
+    total_nodes = sum(1 for e in program.entries if isinstance(e, TapeNode))
+
+    program.loss_slot = program.resolve(loss_slot)
+    program.output_slots = {n: program.resolve(s) for n, s in output_slots.items()}
+    program.dropout_slots = [program.resolve(s) for s in program.dropout_slots]
+    program.order = [
+        s for s in sorted(keep) if isinstance(program.entries[s], TapeNode)
+    ]
+    program.leaf_slots = [
+        s for s in sorted(keep) if isinstance(program.entries[s], TapeLeaf)
+    ]
+    program.stats["dce_removed"] = total_nodes - len(program.order)
+    consumers = program._rebuild_consumers(program.order)
+    program.consumers = {s: tuple(c) for s, c in consumers.items()}
+    return program

@@ -1,0 +1,133 @@
+"""Compiled plans: prebuilt instruction lists replaying a recorded step.
+
+A :class:`CompiledPlan` is the product of trace -> optimize -> plan_memory
+-> :func:`build_plan`.  Each instruction re-invokes the original public op
+entry point on live tensors held in a slot table, rebuilding a *real*
+autograd tape every replay — so ``loss.backward()`` on the result is the
+ordinary engine backward and bit-identity with eager holds by construction
+for the identity/CSE/DCE passes (fusion rewrites are additionally gated by
+the trace-time validation replay in :mod:`repro.compiler.step`).
+
+Leaf binding semantics:
+
+* requires-grad leaves are the live parameter tensors — replay reads
+  ``.data`` at call time, so optimizer updates between hits are seen;
+* non-grad leaves (batch arrays, baked constants) are the traced tensor
+  objects.  The plan cache guarantees a hit only for a batch whose arrays
+  are byte-identical to the traced one, so reading the traced copies is
+  exact.
+
+Dropout nodes replay through ``F.dropout`` on the *live* generator in
+recorded order; ``dropout_rngs`` snapshots each generator's pre-draw state
+(first draw per generator) so validation can rewind and reproduce the
+eager masks exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler import registry
+from repro.compiler.passes import Program
+from repro.compiler.planner import MemoryPlan
+
+_DROPOUT_OP = ("repro.autograd.functional", "dropout")
+
+
+class CompiledPlan:
+    """An executable plan: the optimized program, its memory plan, and the
+    flat instruction list whose replay rebuilds a real autograd tape."""
+    __slots__ = (
+        "program",
+        "memory",
+        "instructions",
+        "buffers",
+        "loss_slot",
+        "output_slots",
+        "leaf_bindings",
+        "grad_leaves",
+        "dropout_rngs",
+        "fingerprint",
+        "replays",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryPlan,
+        instructions,
+        buffers,
+        fingerprint: Optional[str] = None,
+    ):
+        self.program = program
+        self.memory = memory
+        self.instructions = instructions  # [(slot, run)]
+        self.buffers = buffers  # realized arena arrays
+        self.loss_slot = program.loss_slot
+        self.output_slots = dict(program.output_slots)
+        self.leaf_bindings = [
+            (slot, program.entries[slot].tensor) for slot in program.leaf_slots
+        ]
+        self.grad_leaves = [
+            tensor for _, tensor in self.leaf_bindings if tensor.requires_grad
+        ]
+        rngs: List[Tuple[object, dict]] = []
+        seen = set()
+        for slot in program.order:
+            node = program.entries[slot]
+            if node.op == _DROPOUT_OP and node.meta:
+                rng = node.meta["rng"]
+                if id(rng) not in seen:
+                    seen.add(id(rng))
+                    rngs.append((rng, node.meta["state"]))
+        self.dropout_rngs = rngs
+        self.fingerprint = fingerprint
+        self.replays = 0
+
+    def replay(self):
+        """Execute the plan: returns ``(loss_tensor, outputs)`` with a live
+        tape; the caller runs ``loss.backward()``."""
+        slots: List[object] = [None] * len(self.program.entries)
+        for slot, tensor in self.leaf_bindings:
+            slots[slot] = tensor
+        release_after = self.memory.release_after
+        for index, (slot, run) in enumerate(self.instructions):
+            slots[slot] = run(slots)
+            for dead in release_after.get(index, ()):
+                slots[dead] = None
+        loss = slots[self.loss_slot]
+        outputs = {name: slots[s] for name, s in self.output_slots.items()}
+        self.replays += 1
+        return loss, outputs
+
+    def rewind_dropout(self):
+        """Set every dropout generator to its recorded pre-draw state and
+        return the states to restore afterwards (validation replay)."""
+        restore = [(rng, rng.bit_generator.state) for rng, _ in self.dropout_rngs]
+        for rng, pre_state in self.dropout_rngs:
+            rng.bit_generator.state = pre_state
+        return restore
+
+
+def build_plan(program: Program, memory: MemoryPlan) -> CompiledPlan:
+    """Realize arena buffers and build the instruction list.
+
+    Raises :class:`~repro.compiler.registry.UnsupportedOp` when any kept
+    node has no replay builder — the caller falls back to eager.
+    """
+    buffers = [
+        np.empty(shape, dtype=dtype) for shape, dtype in memory.buffers
+    ]
+    instructions = []
+    for slot in program.order:
+        node = program.entries[slot]
+        spec = registry.spec_for(node.op)
+        buffer_index = memory.assignments.get(slot)
+        if buffer_index is not None:
+            run = spec.arena(node, program.resolve, buffers[buffer_index])
+        else:
+            run = spec.build(node, program.resolve)
+        instructions.append((slot, run))
+    return CompiledPlan(program, memory, instructions, buffers)

@@ -1,0 +1,196 @@
+"""Static memory planning: liveness intervals and a reusable buffer arena.
+
+The planner assigns the outputs of whitelisted elementwise nodes (the ops
+with arena mirror closures in :mod:`repro.compiler.registry`) to a pool of
+preallocated buffers, reused across non-overlapping liveness intervals —
+the allocation churn OpProfiler attributes to ``add``/``mul``/``sub`` on
+the hot step.  Everything else stays *pinned*: freshly allocated by its
+re-invoked op each replay, exactly as eager.
+
+A node's liveness interval runs on a unified timeline of forward positions
+``0..K-1`` followed by backward fire positions ``K..K+F-1``, where the
+fire sequence is obtained by simulating the engine's exact iterative DFS
+(``Tensor.backward``) over the optimized graph.  The interval [birth,
+death] starts at the node's forward position and is extended by:
+
+* every forward consumer's position (its ``run`` reads the buffer);
+* the backward fire position of any consumer whose backward closure
+  captured the buffer (``reads_inputs``: mul, matmul, log, norms...);
+* the node's own fire position when its backward reads its output
+  (``reads_out``: exp, tanh, softmax...);
+* transitively, a view consumer's entire death (reshape/transpose/getitem
+  outputs alias the buffer), computed in descending slot order;
+* the end of time for the loss and task outputs.
+
+Nodes that declared ``owns_buffers`` (fused kernels whose backward reads
+buffers mutated in place during the forward — the latent-tape-issue fix)
+are never arena candidates, nor are dropout nodes or views.
+
+The same pass computes ``release_after``: the instruction index after
+which the replay executor drops its slot-table reference to each tensor
+(the tape keeps grad-path tensors alive through ``_parents``, mirroring
+eager Python lifetime), so a replayed step never holds more than eager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compiler import registry
+from repro.compiler.passes import Program
+from repro.compiler.recorder import TapeNode
+
+_DROPOUT_OP = ("repro.autograd.functional", "dropout")
+
+
+class MemoryPlan:
+    """Static memory plan: liveness intervals, arena buffer assignments,
+    release points, and the pinned/arena/eager peak accounting."""
+    __slots__ = (
+        "assignments",
+        "buffers",
+        "intervals",
+        "bwd_pos",
+        "release_after",
+        "eager_peak",
+        "plan_peak",
+        "arena_bytes",
+        "pinned_bytes",
+    )
+
+    def __init__(self):
+        self.assignments: Dict[int, int] = {}  # slot -> buffer index
+        self.buffers: List[Tuple[Tuple[int, ...], object]] = []  # (shape, dtype)
+        self.intervals: Dict[int, Tuple[int, int]] = {}  # slot -> [birth, death]
+        self.bwd_pos: Dict[int, int] = {}
+        self.release_after: Dict[int, Tuple[int, ...]] = {}
+        self.eager_peak = 0
+        self.plan_peak = 0
+        self.arena_bytes = 0
+        self.pinned_bytes = 0
+
+
+def _backward_fire_positions(program: Program) -> Dict[int, int]:
+    """Simulate ``Tensor.backward``'s iterative DFS over the optimized graph
+    and return each node's fire position (offset past the forward range).
+
+    The engine pushes ``(loss, False)``, marks visited at pop, re-pushes as
+    processed, then pushes parents in order — but only requires-grad nodes
+    retain ``_parents``, so traversal stops at non-grad tensors.  Fires are
+    the requires-grad nodes of ``reversed(topo)``; every one reachable from
+    the loss receives a gradient (each backward accumulates into all of its
+    requires-grad parents), so reachability alone decides firing.
+    """
+    entries = program.entries
+    topo: List[int] = []
+    visited = set()
+    stack: List[Tuple[int, bool]] = [(program.loss_slot, False)]
+    while stack:
+        slot, processed = stack.pop()
+        if processed:
+            topo.append(slot)
+            continue
+        if slot in visited:
+            continue
+        visited.add(slot)
+        stack.append((slot, True))
+        entry = entries[slot]
+        if isinstance(entry, TapeNode) and entry.requires_grad:
+            for parent in program.parents(entry):
+                if parent not in visited:
+                    stack.append((parent, False))
+    K = len(program.order)
+    bwd_pos: Dict[int, int] = {}
+    for slot in reversed(topo):
+        entry = entries[slot]
+        if isinstance(entry, TapeNode) and entry.requires_grad:
+            bwd_pos[slot] = K + len(bwd_pos)
+    return bwd_pos
+
+
+def plan_memory(program: Program) -> MemoryPlan:
+    """Compute liveness (forward + backward reads) and first-fit arena
+    assignments for every eligible slot of ``program``."""
+    plan = MemoryPlan()
+    entries = program.entries
+    order = program.order
+    pos = {slot: i for i, slot in enumerate(order)}
+    bwd_pos = plan.bwd_pos = _backward_fire_positions(program)
+    end_of_time = len(order) + len(bwd_pos) + 1
+    keep_alive = {program.loss_slot} | set(program.output_slots.values())
+
+    # -- liveness: death per slot, consumers first (descending slot order) -- #
+    death: Dict[int, int] = {}
+    for slot in reversed(order):
+        node = entries[slot]
+        spec = registry.spec_for(node.op)
+        d = end_of_time if slot in keep_alive else pos[slot]
+        if spec.reads_out and slot in bwd_pos:
+            d = max(d, bwd_pos[slot])
+        for consumer in program.consumers.get(slot, ()):
+            d = max(d, pos[consumer])
+            cspec = registry.spec_for(entries[consumer].op)
+            if cspec.reads_inputs and consumer in bwd_pos:
+                d = max(d, bwd_pos[consumer])
+            if cspec.view:
+                d = max(d, death[consumer])
+        death[slot] = d
+    plan.intervals = {slot: (pos[slot], death[slot]) for slot in order}
+
+    # -- arena assignment: first fit over per-(shape, dtype) buffer pools --- #
+    pools: Dict[Tuple, List[Tuple[int, List[Tuple[int, int]]]]] = {}
+    for slot in order:
+        node = entries[slot]
+        spec = registry.spec_for(node.op)
+        if (
+            slot in keep_alive
+            or node.op == _DROPOUT_OP
+            or spec.view
+            or registry.owns_buffers(node)
+            or not registry.arena_eligible(node)
+            or death[slot] >= end_of_time
+        ):
+            continue
+        data = node.out.data
+        key = (data.shape, data.dtype)
+        interval = (pos[slot], death[slot])
+        pool = pools.setdefault(key, [])
+        for buffer_index, intervals in pool:
+            if all(
+                interval[1] < b or e < interval[0] for b, e in intervals
+            ):
+                intervals.append(interval)
+                plan.assignments[slot] = buffer_index
+                break
+        else:
+            buffer_index = len(plan.buffers)
+            plan.buffers.append(key)
+            pool.append((buffer_index, [interval]))
+            plan.assignments[slot] = buffer_index
+
+    # -- slot-table release schedule (forward-lifetime trimming) ------------ #
+    release: Dict[int, List[int]] = {}
+    for slot in order:
+        if slot in keep_alive:
+            continue
+        last_use = max(
+            (pos[c] for c in program.consumers.get(slot, ())), default=pos[slot]
+        )
+        release.setdefault(last_use, []).append(slot)
+    plan.release_after = {i: tuple(s) for i, s in release.items()}
+
+    # -- accounting --------------------------------------------------------- #
+    plan.eager_peak = sum(int(entries[s].out.data.nbytes) for s in order)
+    plan.arena_bytes = sum(
+        int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
+        for shape, dtype in plan.buffers
+    )
+    plan.pinned_bytes = sum(
+        int(entries[s].out.data.nbytes)
+        for s in order
+        if s not in plan.assignments
+    )
+    plan.plan_peak = plan.pinned_bytes + plan.arena_bytes
+    return plan

@@ -1,0 +1,141 @@
+"""Tape export: record one training step's autograd tape as a graph.
+
+``Tensor._make`` reports every created node to the active recorder —
+including ``requires_grad=False`` nodes, whose parents and backward closure
+the eager tape immediately discards.  The recorder snapshots, *eagerly*
+(the engine nulls backward closures as it consumes them):
+
+* the op identity, derived from the backward closure's module and
+  qualname — e.g. ``("repro.autograd.tensor", "Tensor.__matmul__")``;
+* the closure's free variables (``axis``, ``index`` arrays, constant
+  operands...), which together with the explicit ``meta`` annotations are
+  sufficient to re-invoke the op;
+* the parent tensors, interned as *slots*.  Tensors first seen as parents
+  are leaves: ``requires_grad`` leaves are live-bound parameters, the rest
+  are batch/constant inputs whose bytes the plan cache keys on.
+
+Strong references to every recorded tensor are held for the duration of the
+trace so ``id()``-based interning cannot collide with recycled objects.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Tuple
+
+import importlib
+
+_tensor_core = importlib.import_module("repro.autograd.tensor")
+from repro.autograd.tensor import Tensor
+
+
+def op_key_of(backward) -> Tuple[str, str]:
+    """Registry key for a backward closure: (module, op qualname prefix)."""
+    qualname = getattr(backward, "__qualname__", "")
+    return (getattr(backward, "__module__", ""), qualname.split(".<locals>")[0])
+
+
+def freevars_of(backward) -> dict:
+    """The backward closure's free variables, by name."""
+    code = getattr(backward, "__code__", None)
+    cells = getattr(backward, "__closure__", None)
+    if code is None or cells is None:
+        return {}
+    return dict(zip(code.co_freevars, (c.cell_contents for c in cells)))
+
+
+class TapeNode:
+    """One recorded op: out slot, op identity, parent slots, replay args."""
+
+    __slots__ = ("slot", "op", "parents", "fv", "meta", "out", "requires_grad")
+
+    def __init__(self, slot, op, parents, fv, meta, out, requires_grad):
+        self.slot = slot
+        self.op = op
+        self.parents = parents
+        self.fv = fv
+        self.meta = meta
+        self.out = out
+        self.requires_grad = requires_grad
+
+    @property
+    def out_shape(self) -> Tuple[int, ...]:
+        return self.out.data.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TapeNode({self.slot}: {self.op[1]} <- {list(self.parents)})"
+
+
+class TapeLeaf:
+    """A tensor first seen as a parent: parameter (grad) or baked input."""
+
+    __slots__ = ("slot", "tensor", "requires_grad")
+
+    def __init__(self, slot, tensor):
+        self.slot = slot
+        self.tensor = tensor
+        self.requires_grad = tensor.requires_grad
+
+
+class Trace:
+    """The recorded graph: slots holding :class:`TapeLeaf` / :class:`TapeNode`."""
+
+    def __init__(self) -> None:
+        self.entries: List[object] = []  # slot -> TapeLeaf | TapeNode
+        self.slot_of: Dict[int, int] = {}  # id(tensor) -> slot
+        self.tainted: Optional[str] = None
+
+    # -- recorder protocol (called from Tensor._make / taint_trace) -------- #
+    def on_node(self, out: Tensor, parents, backward, meta) -> None:
+        parent_slots = tuple(self._intern_parent(p) for p in parents)
+        slot = len(self.entries)
+        node = TapeNode(
+            slot,
+            op_key_of(backward),
+            parent_slots,
+            freevars_of(backward),
+            meta,
+            out,
+            out.requires_grad,
+        )
+        self.entries.append(node)
+        self.slot_of[id(out)] = slot
+
+    def taint(self, reason: str) -> None:
+        if self.tainted is None:
+            self.tainted = reason
+
+    # -- helpers ----------------------------------------------------------- #
+    def _intern_parent(self, tensor: Tensor) -> int:
+        slot = self.slot_of.get(id(tensor))
+        if slot is None:
+            slot = len(self.entries)
+            self.entries.append(TapeLeaf(slot, tensor))
+            self.slot_of[id(tensor)] = slot
+        return slot
+
+    def nodes(self) -> List[TapeNode]:
+        return [e for e in self.entries if isinstance(e, TapeNode)]
+
+    def leaves(self) -> List[TapeLeaf]:
+        return [e for e in self.entries if isinstance(e, TapeLeaf)]
+
+    def slot_for(self, tensor: Tensor) -> Optional[int]:
+        return self.slot_of.get(id(tensor))
+
+
+@contextlib.contextmanager
+def record_tape():
+    """Scoped tape recording; yields the :class:`Trace` being filled."""
+    trace = Trace()
+    previous = _tensor_core._RECORDER
+    _tensor_core._RECORDER = trace
+    try:
+        yield trace
+    finally:
+        _tensor_core._RECORDER = previous
+
+
+def recording_active() -> bool:
+    """Whether a recorder is currently installed (used by op meta guards)."""
+    return _tensor_core._RECORDER is not None

@@ -1,0 +1,683 @@
+"""Replay builders: how each supported op is re-executed from a plan.
+
+The compiled executor is a *re-invocation* replay: each instruction calls
+the same public entry point the model called (``F.exp``,
+``Tensor.__matmul__``, ``fused.linear_act``...) on live tensors, rebuilding
+a real autograd tape.  Identity replay is therefore bitwise-equal to eager
+by construction — same functions, same argument order, same engine — and
+``loss.backward()`` on the replayed tape is the ordinary engine backward.
+
+Each :class:`OpSpec` carries:
+
+* ``build(node, resolve)`` — returns ``run(slots)`` computing the node's
+  output tensor from the slot table;
+* effect flags the memory planner consumes: does the backward closure read
+  the op's *output* buffer (``reads_out``: exp, tanh, softmax...), its
+  *input* buffers (``reads_inputs``: mul, matmul, log...), or is the
+  output a numpy *view* of an input (``view``: reshape, transpose,
+  getitem) so the input buffer must outlive every use of the view;
+* ``arena(node, resolve, buffer)`` — optional mirror closure writing the
+  forward value into a preallocated arena buffer via ``out=`` ufuncs
+  (bitwise-identical values; backward replays the exact reference
+  expressions), for the elementwise ops that dominate allocation churn;
+* ``cse_args(node)`` — canonical non-parent arguments for common-
+  subexpression elimination, or None when the op must never be CSE'd
+  (dropout draws fresh randomness every invocation).
+
+Fused kernels whose backward reads buffers mutated in place during the
+forward (``fused.linear_act``'s GEMM result carries the bias add; see
+DESIGN.md §14) declare ``owns_buffers`` in their recorded meta; the planner
+pins such outputs out of the arena entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.kernels import fused
+
+MOD_TENSOR = "repro.autograd.tensor"
+MOD_FUNC = "repro.autograd.functional"
+MOD_FUSED = "repro.kernels.fused"
+
+
+class UnsupportedOp(Exception):
+    """Raised while building a plan for a node the registry cannot replay."""
+
+
+class OpSpec:
+    """Replay/analysis contract for one traced op: instruction builder plus
+    the planner-facing flags (arena eligibility, CSE key, backward reads)."""
+    __slots__ = (
+        "name",
+        "build",
+        "arena",
+        "cse_args",
+        "reads_out",
+        "reads_inputs",
+        "view",
+        "pure",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable,
+        *,
+        arena: Optional[Callable] = None,
+        cse_args: Optional[Callable] = None,
+        reads_out: bool = False,
+        reads_inputs: bool = False,
+        view: bool = False,
+        pure: bool = True,
+    ):
+        self.name = name
+        self.build = build
+        self.arena = arena
+        self.cse_args = cse_args
+        self.reads_out = reads_out
+        self.reads_inputs = reads_inputs
+        self.view = view
+        self.pure = pure
+
+
+REGISTRY: Dict[Tuple[str, str], OpSpec] = {}
+
+
+def _register(module: str, name: str, **kwargs) -> None:
+    REGISTRY[(module, name)] = OpSpec(name=name, **kwargs)
+
+
+def spec_for(op: Tuple[str, str]) -> OpSpec:
+    """Registry lookup; raises :class:`UnsupportedOp` for unknown ops."""
+    spec = REGISTRY.get(op)
+    if spec is None:
+        raise UnsupportedOp(f"no replay builder for op {op[1]} ({op[0]})")
+    return spec
+
+
+def _fv(node, name):
+    try:
+        return node.fv[name]
+    except KeyError:
+        raise UnsupportedOp(f"{node.op[1]}: backward closure lacks {name!r}")
+
+
+def _meta(node, name):
+    if not node.meta or name not in node.meta:
+        raise UnsupportedOp(f"{node.op[1]}: recorded without {name!r} annotation")
+    return node.meta[name]
+
+
+def _unary(node, resolve):
+    (a,) = node.parents
+    return resolve(a)
+
+
+# --------------------------------------------------------------------------- #
+# Tensor dunders and methods
+# --------------------------------------------------------------------------- #
+def _build_binop(apply_tt, apply_tc):
+    """Builder for self-other dunders: tensor-tensor or tensor-constant."""
+
+    def build(node, resolve):
+        if len(node.parents) == 2:
+            a, b = (resolve(p) for p in node.parents)
+            return lambda slots: apply_tt(slots[a], slots[b])
+        (a,) = (resolve(p) for p in node.parents)
+        const = _meta(node, "const") if node.meta else _fv(node, "other_a")
+        return lambda slots: apply_tc(slots[a], const)
+
+    return build
+
+
+def _binop_cse(node):
+    if len(node.parents) == 2:
+        return ()
+    const = node.meta["const"] if node.meta else node.fv.get("other_a")
+    return (id(const),)
+
+
+def _arena_elementwise(forward_ufunc, make_backward_tt, make_backward_tc):
+    """Arena mirror for a commutative-accumulation elementwise op."""
+
+    def arena(node, resolve, buffer):
+        if len(node.parents) == 2:
+            a, b = (resolve(p) for p in node.parents)
+
+            def run(slots):
+                ta, tb = slots[a], slots[b]
+                forward_ufunc(ta.data, tb.data, out=buffer)
+                return Tensor._make(buffer, (ta, tb), make_backward_tt(ta, tb))
+
+            return run
+        (a,) = (resolve(p) for p in node.parents)
+        const = node.meta["const"] if node.meta else node.fv.get("other_a")
+        if const is None:
+            raise UnsupportedOp(f"{node.op[1]}: missing constant operand")
+
+        def run(slots):
+            ta = slots[a]
+            forward_ufunc(ta.data, const, out=buffer)
+            return Tensor._make(buffer, (ta,), make_backward_tc(ta, const))
+
+        return run
+
+    return arena
+
+
+def _add_bwd_tt(a, b):
+    def backward(g):
+        a._accumulate(g)
+        b._accumulate(g)
+
+    return backward
+
+
+def _add_bwd_tc(a, const):
+    def backward(g):
+        a._accumulate(g)
+
+    return backward
+
+
+def _sub_bwd_tt(a, b):
+    def backward(g):
+        a._accumulate(g)
+        b._accumulate(-g)
+
+    return backward
+
+
+def _mul_bwd_tt(a, b):
+    a_data, b_data = a.data, b.data
+
+    def backward(g):
+        a._accumulate(g * b_data)
+        b._accumulate(g * a_data)
+
+    return backward
+
+
+def _mul_bwd_tc(a, const):
+    def backward(g):
+        a._accumulate(g * const)
+
+    return backward
+
+
+_register(
+    MOD_TENSOR,
+    "Tensor.__add__",
+    build=_build_binop(lambda a, b: a + b, lambda a, c: a + c),
+    arena=_arena_elementwise(np.add, _add_bwd_tt, _add_bwd_tc),
+    cse_args=_binop_cse,
+)
+_register(
+    MOD_TENSOR,
+    "Tensor.__sub__",
+    build=_build_binop(lambda a, b: a - b, lambda a, c: a - c),
+    arena=_arena_elementwise(np.subtract, _sub_bwd_tt, _add_bwd_tc),
+    cse_args=_binop_cse,
+)
+_register(
+    MOD_TENSOR,
+    "Tensor.__mul__",
+    build=_build_binop(lambda a, b: a * b, lambda a, c: a * c),
+    arena=_arena_elementwise(np.multiply, _mul_bwd_tt, _mul_bwd_tc),
+    reads_inputs=True,
+    cse_args=_binop_cse,
+)
+_register(
+    MOD_TENSOR,
+    "Tensor.__truediv__",
+    build=_build_binop(lambda a, b: a / b, lambda a, c: a / c),
+    reads_inputs=True,
+    cse_args=_binop_cse,
+)
+
+
+def _build_rsub(node, resolve):
+    (a,) = (resolve(p) for p in node.parents)
+    const = _meta(node, "const")
+    return lambda slots: slots[a].__rsub__(const)
+
+
+def _build_rtruediv(node, resolve):
+    (a,) = (resolve(p) for p in node.parents)
+    const = _fv(node, "other_a")
+    return lambda slots: slots[a].__rtruediv__(const)
+
+
+def _arena_neg(node, resolve, buffer):
+    (a,) = (resolve(p) for p in node.parents)
+
+    def run(slots):
+        ta = slots[a]
+        np.negative(ta.data, out=buffer)
+
+        def backward(g):
+            ta._accumulate(-g)
+
+        return Tensor._make(buffer, (ta,), backward)
+
+    return run
+
+
+def _arena_rsub(node, resolve, buffer):
+    (a,) = (resolve(p) for p in node.parents)
+    const = _meta(node, "const")
+
+    def run(slots):
+        ta = slots[a]
+        np.subtract(const, ta.data, out=buffer)
+
+        def backward(g):
+            ta._accumulate(-g)
+
+        return Tensor._make(buffer, (ta,), backward)
+
+    return run
+
+
+_register(
+    MOD_TENSOR,
+    "Tensor.__rsub__",
+    build=_build_rsub,
+    arena=_arena_rsub,
+    cse_args=_binop_cse,
+)
+_register(
+    MOD_TENSOR,
+    "Tensor.__rtruediv__",
+    build=_build_rtruediv,
+    reads_inputs=True,
+    cse_args=lambda node: (id(node.fv.get("other_a")),),
+)
+_register(
+    MOD_TENSOR,
+    "Tensor.__neg__",
+    build=lambda node, resolve: (lambda a: (lambda slots: -slots[a]))(
+        _unary(node, resolve)
+    ),
+    arena=_arena_neg,
+    cse_args=lambda node: (),
+)
+
+
+def _build_pow(node, resolve):
+    a = _unary(node, resolve)
+    exponent = _fv(node, "exponent")
+    return lambda slots: slots[a] ** exponent
+
+
+_register(
+    MOD_TENSOR,
+    "Tensor.__pow__",
+    build=_build_pow,
+    reads_inputs=True,
+    cse_args=lambda node: (float(node.fv.get("exponent")),),
+)
+_register(
+    MOD_TENSOR,
+    "Tensor.__matmul__",
+    build=_build_binop(lambda a, b: a @ b, lambda a, c: a @ c),
+    reads_inputs=True,
+    cse_args=_binop_cse,
+)
+
+
+def _build_reshape(node, resolve):
+    a = _unary(node, resolve)
+    shape = node.out_shape
+    return lambda slots: slots[a].reshape(shape)
+
+
+def _build_transpose(node, resolve):
+    a = _unary(node, resolve)
+    axes = _fv(node, "axes")
+    if axes is None:
+        return lambda slots: slots[a].transpose()
+    return lambda slots: slots[a].transpose(axes)
+
+
+# squeeze/unsqueeze only capture the input shape; replaying them as a
+# reshape onto the recorded output shape runs the identical backward
+# (``g.reshape(original)``) on identical values.
+for _name in ("Tensor.reshape", "Tensor.squeeze", "Tensor.unsqueeze"):
+    _register(
+        MOD_TENSOR,
+        _name,
+        build=_build_reshape,
+        view=True,
+        cse_args=lambda node: (node.out_shape,),
+    )
+_register(
+    MOD_TENSOR,
+    "Tensor.transpose",
+    build=_build_transpose,
+    view=True,
+    cse_args=lambda node: (node.fv.get("axes"),),
+)
+
+
+def _canon_index(index):
+    if isinstance(index, tuple):
+        return tuple(_canon_index(i) for i in index)
+    if isinstance(index, np.ndarray):
+        return ("arr", id(index))
+    if isinstance(index, slice):
+        return ("slice", index.start, index.stop, index.step)
+    if isinstance(index, (int, np.integer)):
+        return int(index)
+    return ("other", id(index))
+
+
+def _build_getitem(node, resolve):
+    a = _unary(node, resolve)
+    index = _fv(node, "index")
+    return lambda slots: slots[a][index]
+
+
+# Basic (slice) indexing yields numpy views; treated as a view op so the
+# source buffer outlives any use of the result.
+_register(
+    MOD_TENSOR,
+    "Tensor.__getitem__",
+    build=_build_getitem,
+    view=True,
+    cse_args=lambda node: _canon_index(node.fv.get("index")),
+)
+
+
+def _build_sum(node, resolve):
+    a = _unary(node, resolve)
+    axis, keepdims = _fv(node, "axis"), _fv(node, "keepdims")
+    return lambda slots: slots[a].sum(axis=axis, keepdims=keepdims)
+
+
+def _build_max(node, resolve):
+    a = _unary(node, resolve)
+    axis, keepdims = _fv(node, "axis"), _fv(node, "keepdims")
+    return lambda slots: slots[a].max(axis=axis, keepdims=keepdims)
+
+
+def _axis_cse(node):
+    axis = node.fv.get("axis")
+    if isinstance(axis, list):
+        axis = tuple(axis)
+    return (axis, bool(node.fv.get("keepdims")))
+
+
+_register(MOD_TENSOR, "Tensor.sum", build=_build_sum, cse_args=_axis_cse)
+_register(
+    MOD_TENSOR, "Tensor.max", build=_build_max, reads_inputs=True, reads_out=True,
+    cse_args=_axis_cse,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Functional primitives
+# --------------------------------------------------------------------------- #
+def _build_unary_f(fn):
+    def build(node, resolve):
+        a = _unary(node, resolve)
+        return lambda slots: fn(slots[a])
+
+    return build
+
+
+_UNARY_F = {
+    # name -> (fn, reads_out, reads_inputs)
+    "exp": (F.exp, True, False),
+    "log": (F.log, False, True),
+    "sqrt": (F.sqrt, True, False),
+    "abs": (F.abs, False, True),
+    "tanh": (F.tanh, True, False),
+    "sigmoid": (F.sigmoid, True, False),
+    "relu": (F.relu, False, False),
+    "silu": (F.silu, True, False),
+    "selu": (F.selu, False, False),
+    "softplus": (F.softplus, False, False),
+}
+for _name, (_fn, _ro, _ri) in _UNARY_F.items():
+    _register(
+        MOD_FUNC,
+        _name,
+        build=_build_unary_f(_fn),
+        reads_out=_ro,
+        reads_inputs=_ri,
+        cse_args=lambda node: (),
+    )
+
+
+def _build_clip(node, resolve):
+    a = _unary(node, resolve)
+    low, high = _meta(node, "low"), _meta(node, "high")
+    return lambda slots: F.clip(slots[a], low, high)
+
+
+_register(
+    MOD_FUNC,
+    "clip",
+    build=_build_clip,
+    cse_args=lambda node: (node.meta["low"], node.meta["high"]) if node.meta else None,
+)
+
+
+def _build_nary(fn):
+    def build(node, resolve):
+        parents = [resolve(p) for p in node.parents]
+        axis = _fv(node, "axis")
+        return lambda slots: fn([slots[p] for p in parents], axis=axis)
+
+    return build
+
+
+_register(
+    MOD_FUNC, "concat", build=_build_nary(F.concat),
+    cse_args=lambda node: (node.fv.get("axis"),),
+)
+_register(
+    MOD_FUNC, "stack", build=_build_nary(F.stack),
+    cse_args=lambda node: (node.fv.get("axis"),),
+)
+
+
+def _build_pad_rows(node, resolve):
+    a = _unary(node, resolve)
+    total_rows = node.out_shape[0]
+    return lambda slots: F.pad_rows(slots[a], total_rows)
+
+
+_register(
+    MOD_FUNC, "pad_rows", build=_build_pad_rows,
+    cse_args=lambda node: (node.out_shape[0],),
+)
+
+
+def _build_softmax(fn):
+    def build(node, resolve):
+        a = _unary(node, resolve)
+        axis = _fv(node, "axis")
+        return lambda slots: fn(slots[a], axis=axis)
+
+    return build
+
+
+_register(
+    MOD_FUNC, "softmax", build=_build_softmax(F.softmax), reads_out=True,
+    cse_args=lambda node: (node.fv.get("axis"),),
+)
+_register(
+    MOD_FUNC, "log_softmax", build=_build_softmax(F.log_softmax),
+    cse_args=lambda node: (node.fv.get("axis"),),
+)
+
+
+def _build_dropout(node, resolve):
+    a = _unary(node, resolve)
+    p, rng = _meta(node, "p"), _meta(node, "rng")
+    return lambda slots: F.dropout(slots[a], p, rng, training=True)
+
+
+# Dropout consumes generator state: never CSE'd, never dead-code-eliminated
+# (pinning keeps the replayed random stream aligned with eager).
+_register(MOD_FUNC, "dropout", build=_build_dropout, pure=False)
+
+
+def _build_index_select(fn):
+    def build(node, resolve):
+        a = _unary(node, resolve)
+        index = _fv(node, "index")
+        return lambda slots: fn(slots[a], index)
+
+    return build
+
+
+def _build_segment_sum(fn):
+    def build(node, resolve):
+        a = _unary(node, resolve)
+        segment_ids = _fv(node, "segment_ids")
+        num_segments = node.out_shape[0]
+        return lambda slots: fn(slots[a], segment_ids, num_segments)
+
+    return build
+
+
+_register(
+    MOD_FUNC, "index_select", build=_build_index_select(F.index_select),
+    cse_args=lambda node: (id(node.fv.get("index")),),
+)
+_register(
+    MOD_FUNC, "segment_sum", build=_build_segment_sum(F.segment_sum),
+    cse_args=lambda node: (id(node.fv.get("segment_ids")), node.out_shape[0]),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Fused kernels
+# --------------------------------------------------------------------------- #
+def _build_linear_act(node, resolve):
+    act = _meta(node, "act")
+    parents = [resolve(p) for p in node.parents]
+    if len(parents) == 3:
+        x, w, b = parents
+        return lambda slots: fused.linear_act(slots[x], slots[w], slots[b], act)
+    x, w = parents
+    return lambda slots: fused.linear_act(slots[x], slots[w], None, act)
+
+
+def _build_rms_norm(node, resolve):
+    x, w = (resolve(p) for p in node.parents)
+    eps = _meta(node, "eps")
+    return lambda slots: fused.rms_norm(slots[x], slots[w], eps)
+
+
+def _build_layer_norm(node, resolve):
+    x, w, b = (resolve(p) for p in node.parents)
+    eps = _meta(node, "eps")
+    return lambda slots: fused.layer_norm(slots[x], slots[w], slots[b], eps)
+
+
+def _build_softmax_ce(node, resolve):
+    (logits,) = (resolve(p) for p in node.parents)
+    targets = _fv(node, "targets")
+    return lambda slots: fused.softmax_cross_entropy(slots[logits], targets)
+
+
+def _build_gather_diff(node, resolve):
+    (x,) = (resolve(p) for p in node.parents)
+    src, dst = _fv(node, "src"), _fv(node, "dst")
+    return lambda slots: fused.gather_diff(slots[x], src, dst)
+
+
+def _build_gather_pair_concat(node, resolve):
+    parents = [resolve(p) for p in node.parents]
+    h, tails = parents[0], parents[1:]
+    src, dst = _fv(node, "src"), _fv(node, "dst")
+    return lambda slots: fused.gather_pair_concat(
+        slots[h], src, dst, [slots[t] for t in tails]
+    )
+
+
+def _build_mul_segment_sum(node, resolve):
+    a, b = (resolve(p) for p in node.parents)
+    segment_ids = _fv(node, "segment_ids")
+    num_segments = node.out_shape[0]
+    return lambda slots: fused.mul_segment_sum(
+        slots[a], slots[b], segment_ids, num_segments
+    )
+
+
+_register(
+    MOD_FUSED, "linear_act", build=_build_linear_act, reads_inputs=True,
+    cse_args=lambda node: (node.meta["act"],) if node.meta else None,
+)
+_register(
+    MOD_FUSED, "rms_norm", build=_build_rms_norm, reads_inputs=True,
+    cse_args=lambda node: (node.meta["eps"],) if node.meta else None,
+)
+_register(
+    MOD_FUSED, "layer_norm", build=_build_layer_norm, reads_inputs=True,
+    cse_args=lambda node: (node.meta["eps"],) if node.meta else None,
+)
+_register(
+    MOD_FUSED, "softmax_cross_entropy", build=_build_softmax_ce, reads_inputs=True,
+    cse_args=lambda node: (id(node.fv.get("targets")),),
+)
+_register(
+    MOD_FUSED, "gather_diff", build=_build_gather_diff,
+    cse_args=lambda node: (id(node.fv.get("src")), id(node.fv.get("dst"))),
+)
+_register(
+    MOD_FUSED,
+    "row_sq_norm",
+    build=_build_unary_f(fused.row_sq_norm),
+    reads_inputs=True,
+    cse_args=lambda node: (),
+)
+_register(
+    MOD_FUSED, "gather_pair_concat", build=_build_gather_pair_concat,
+    cse_args=lambda node: (id(node.fv.get("src")), id(node.fv.get("dst"))),
+)
+_register(
+    MOD_FUSED, "index_select", build=_build_index_select(fused.index_select),
+    cse_args=lambda node: (id(node.fv.get("index")),),
+)
+_register(
+    MOD_FUSED, "segment_sum", build=_build_segment_sum(fused.segment_sum),
+    cse_args=lambda node: (id(node.fv.get("segment_ids")), node.out_shape[0]),
+)
+_register(
+    MOD_FUSED, "mul_segment_sum", build=_build_mul_segment_sum, reads_inputs=True,
+    cse_args=lambda node: (id(node.fv.get("segment_ids")), node.out_shape[0]),
+)
+
+
+def arena_eligible(node) -> bool:
+    """Whether the planner may place this node's output in the arena: a
+    whitelisted elementwise op in a form its mirror closure supports."""
+    spec = REGISTRY.get(node.op)
+    if spec is None or spec.arena is None:
+        return False
+    name = node.op[1]
+    if name == "Tensor.__neg__":
+        return True
+    if name == "Tensor.__rsub__":
+        return bool(node.meta and "const" in node.meta)
+    if len(node.parents) == 2:
+        return True
+    if node.meta and "const" in node.meta:
+        return True
+    return node.fv.get("other_a") is not None
+
+
+def owns_buffers(node) -> bool:
+    """Whether the node declared in-place-mutated buffers (satellite fix):
+    its output must never be recycled into the arena."""
+    return bool(node.meta and node.meta.get("owns_buffers"))

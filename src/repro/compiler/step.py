@@ -1,0 +1,204 @@
+"""The compiled training step: lookup -> replay, or trace -> build -> validate.
+
+:func:`compiled_training_step` owns the *whole* step — forward and
+backward — so strategies call it in place of their forward/backward span
+pair and must not call ``loss.backward()`` again.  Control flow:
+
+* **hit** — replay the cached plan (``compile.replay`` span) and run the
+  engine backward on the rebuilt tape;
+* **miss with trace budget** — run the step eagerly under the tape
+  recorder (``compile.trace``), build a plan (``compile.build``), then
+  *validate* it (``compile.validate``): parameter grads are set aside,
+  dropout generators rewound to their recorded pre-draw states, the plan
+  replayed and differentiated, and the loss, outputs, and every parameter
+  gradient compared **bitwise** against the eager step.  Only a plan that
+  reproduces the eager step exactly is cached; eager state (grads, rng
+  streams) is restored either way, so a validation failure costs time but
+  never changes training;
+* **anything else** — tainted tape (baked param-dependent constants,
+  running-stat mutation), unsupported node, exhausted trace budget, or
+  active anomaly mode — runs the plain eager step.
+
+The eager step executed on a miss *is* the step's result, so compiled
+training is bit-identical to eager even before any plan validates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+import importlib
+
+_tensor_core = importlib.import_module("repro.autograd.tensor")
+from repro.compiler.cache import get_plan_cache, plan_key
+from repro.compiler.passes import optimize
+from repro.compiler.plan import CompiledPlan, build_plan
+from repro.compiler.planner import plan_memory
+from repro.compiler.recorder import Trace, record_tape
+from repro.compiler.registry import UnsupportedOp
+from repro.observability.tracer import maybe_span
+
+
+def _bitwise_equal(a, b) -> bool:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return (
+        a.shape == b.shape and a.dtype == b.dtype and a.tobytes() == b.tobytes()
+    )
+
+
+def validate_plan(
+    plan: CompiledPlan, eager_loss, eager_outputs, pre_grads=None
+) -> bool:
+    """Replay the plan against the just-finished eager step, bitwise.
+
+    Assumes the eager backward has run (param grads hold the eager
+    result).  ``pre_grads`` maps ``id(param) -> grad copy`` captured
+    *before* the eager backward; the replay is seeded with those so the
+    comparison holds under gradient accumulation (DDP's fast path runs
+    several rank backwards into the same parameters).  Restores grads and
+    dropout generator states on exit.
+    """
+    params = plan.grad_leaves
+    saved = [(p, p.grad) for p in params]
+    for p, _ in saved:
+        pre = None if pre_grads is None else pre_grads.get(id(p))
+        p.grad = None if pre is None else pre.copy()
+    restore = plan.rewind_dropout()
+    try:
+        loss_c, outputs_c = plan.replay()
+        loss_c.backward()
+        ok = _bitwise_equal(loss_c.data, eager_loss.data)
+        for name, tensor in outputs_c.items():
+            ok = ok and _bitwise_equal(tensor.data, eager_outputs[name].data)
+        for p, eager_grad in saved:
+            replay_grad = p.grad
+            if eager_grad is None or replay_grad is None:
+                ok = ok and eager_grad is None and replay_grad is None
+            else:
+                ok = ok and _bitwise_equal(replay_grad, eager_grad)
+        return ok
+    except Exception:
+        return False
+    finally:
+        for p, eager_grad in saved:
+            p.grad = eager_grad
+        for rng, state in restore:
+            rng.bit_generator.state = state
+
+
+def compile_trace(
+    trace: Trace, loss, outputs: Dict[str, object], rewrite: bool = True
+) -> CompiledPlan:
+    """Optimize + plan + build.  Raises UnsupportedOp on any gap."""
+    program = optimize(trace, loss, outputs, rewrite=rewrite)
+    memory = plan_memory(program)
+    return build_plan(program, memory)
+
+
+def _eager_step(task, batch, tracer) -> Tuple[object, Dict[str, float]]:
+    with maybe_span(tracer, "forward"):
+        loss, metrics = task.training_step(batch)
+    with maybe_span(tracer, "backward"):
+        loss.backward()
+    return loss, metrics
+
+
+def compiled_training_step(
+    task, batch, tracer=None
+) -> Tuple[object, Dict[str, float]]:
+    """One training step through the plan cache.
+
+    Returns ``(loss_tensor, metrics)`` with gradients already accumulated
+    on the parameters — callers must NOT run ``loss.backward()`` again.
+    """
+    if _tensor_core._ANOMALY_DEPTH:
+        # Anomaly mode re-checks every hop; replaying a prebuilt plan would
+        # bypass the wrapped entry points' forward checks.  Stay eager.
+        return _eager_step(task, batch, tracer)
+
+    cache = get_plan_cache()
+    key = plan_key(task, batch)
+    plan = cache.get(key)
+    if plan is not None:
+        with maybe_span(tracer, "forward") as span:
+            with maybe_span(tracer, "compile.replay"):
+                loss, outputs = plan.replay()
+            if span is not None:
+                span.attrs["compile"] = "hit"
+        with maybe_span(tracer, "backward"):
+            loss.backward()
+        metrics = task.training_metrics_from_outputs(
+            {name: t.data for name, t in outputs.items()}, batch
+        )
+        return loss, metrics
+
+    if not cache.may_trace():
+        cache.fallbacks += 1
+        return _eager_step(task, batch, tracer)
+
+    cache.traces += 1
+    with maybe_span(tracer, "forward") as span:
+        with maybe_span(tracer, "compile.trace"):
+            with record_tape() as trace:
+                loss, metrics, outputs = task.training_step_traced(batch)
+        if span is not None:
+            span.attrs["compile"] = "trace"
+    # Snapshot grads before the eager backward so validation can seed the
+    # replay identically — callers may be accumulating (DDP fast path).
+    pre_grads = {
+        id(p): (None if p.grad is None else p.grad.copy())
+        for p in task.parameters()
+    }
+    with maybe_span(tracer, "backward"):
+        loss.backward()
+
+    if trace.tainted is not None or outputs is None:
+        cache.taints += 1
+        return loss, metrics
+    try:
+        with maybe_span(tracer, "compile.build"):
+            plan = compile_trace(trace, loss, outputs)
+    except UnsupportedOp:
+        cache.fallbacks += 1
+        return loss, metrics
+    with maybe_span(tracer, "compile.validate"):
+        if validate_plan(plan, loss, outputs, pre_grads):
+            cache.put(key, plan)
+        else:
+            cache.validation_failures += 1
+    return loss, metrics
+
+
+class TraceResult:
+    """What :func:`trace_function` hands to the differential test harness."""
+
+    __slots__ = ("plan", "loss", "outputs", "tainted", "trace")
+
+    def __init__(self, plan, loss, outputs, tainted, trace):
+        self.plan = plan
+        self.loss = loss
+        self.outputs = outputs
+        self.tainted = tainted
+        self.trace = trace
+
+
+def trace_function(fn, rewrite: bool = True) -> TraceResult:
+    """Record ``fn() -> loss | (loss, outputs)`` and compile it directly.
+
+    Test-harness entry point: no caching, no validation — the caller
+    decides what to compare.  ``plan`` is None when the tape was tainted.
+    Raises UnsupportedOp when a recorded node has no replay builder.
+    """
+    with record_tape() as trace:
+        result = fn()
+    if isinstance(result, tuple):
+        loss, outputs = result
+    else:
+        loss, outputs = result, {}
+    if trace.tainted is not None:
+        return TraceResult(None, loss, outputs, trace.tainted, trace)
+    plan = compile_trace(trace, loss, outputs or {}, rewrite=rewrite)
+    return TraceResult(plan, loss, outputs, None, trace)

@@ -47,6 +47,29 @@ def _span(tracer, name: str, **attrs):
     return tracer.span(name, **attrs) if tracer is not None else _NULL_SPAN
 
 
+def _forward_backward(tracer, task, batch, rank: Optional[int] = None):
+    """One forward+backward, routed through the tape compiler when enabled.
+
+    ``compiled_training_step`` owns the backward pass (cached-plan replays
+    rebuild a real tape and differentiate it), so this helper is the single
+    place a strategy runs a step — callers must not call ``backward`` again.
+    Imported lazily to keep the distributed layer's import graph free of
+    repro.compiler/repro.observability in eager runs.
+    """
+    from repro.compiler.dispatch import compiled_enabled
+
+    if compiled_enabled():
+        from repro.compiler.step import compiled_training_step
+
+        return compiled_training_step(task, batch, tracer)
+    attrs = {} if rank is None else {"rank": rank}
+    with _span(tracer, "forward", **attrs):
+        loss, metrics = task.training_step(batch)
+    with _span(tracer, "backward", **attrs):
+        loss.backward()
+    return loss, metrics
+
+
 class Strategy:
     """Turns a list of samples into one optimizer-ready gradient.
 
@@ -90,10 +113,7 @@ class SingleProcessStrategy(Strategy):
     def execute(self, task, samples: Sequence) -> Tuple[float, dict]:
         with _span(self.tracer, "data", source="collate"):
             batch = self.collate_fn(list(samples))
-        with _span(self.tracer, "forward"):
-            loss, metrics = task.training_step(batch)
-        with _span(self.tracer, "backward"):
-            loss.backward()
+        loss, metrics = _forward_backward(self.tracer, task, batch)
         value = float(loss.data)
         self.last_rank_losses = [value]
         return value, metrics
@@ -301,10 +321,7 @@ class DDPStrategy(Strategy):
                 task.zero_grad()
                 with _span(self.tracer, "data", source="collate", rank=rank):
                     batch = self.collate_fn(shard)
-                with _span(self.tracer, "forward", rank=rank):
-                    loss, m = task.training_step(batch)
-                with _span(self.tracer, "backward", rank=rank):
-                    loss.backward()
+                loss, m = _forward_backward(self.tracer, task, batch, rank=rank)
                 if self.bucket_bytes is not None:
                     # The bucketer packs missing grads as zeros on the wire
                     # but None-ness is preserved so parameters unused on
@@ -341,10 +358,7 @@ class DDPStrategy(Strategy):
         for rank, shard in enumerate(shards):
             with _span(self.tracer, "data", source="collate", rank=rank):
                 batch = self.collate_fn(shard)
-            with _span(self.tracer, "forward", rank=rank):
-                loss, m = task.training_step(batch)
-            with _span(self.tracer, "backward", rank=rank):
-                loss.backward()
+            loss, m = _forward_backward(self.tracer, task, batch, rank=rank)
             losses.append(float(loss.data))
             metrics = m
         with _span(self.tracer, "comm.allreduce", ranks=self.world_size):

@@ -1,0 +1,300 @@
+"""Graph-rewrite patterns onto the fused kernels.
+
+The tape compiler (``repro.compiler``) records a training step as a graph
+and rewrites multi-node reference compositions onto the single-node fused
+kernels from :mod:`repro.kernels.fused` — the same substitutions
+:mod:`repro.kernels.dispatch` performs at call time when ``REPRO_FUSED``
+is on, but applied *after the fact* to an already-recorded tape.  This is
+what lets a ``REPRO_FUSED=0`` trace still replay through fused kernels.
+
+Each matcher is invoked with a candidate *root* slot (the pattern's last
+node, whose slot and output tensor the replacement inherits) and a
+:class:`GraphView` of the optimized graph.  A match must prove:
+
+* the op chain is structurally exact (ops, arities, recorded constants);
+* every interior node is consumed only inside the pattern and is not
+  *protected* (the loss, a task output, or a pinned dropout node);
+* the fused kernel's dispatch contract holds (e.g. 2-D logits for
+  ``softmax_cross_entropy``).
+
+Equivalence story: ``tests/test_kernels_fused.py`` pins every fused
+kernel bitwise against its reference composition (forward and leaf
+gradients, both dispatch modes).  What the tests cannot pin — gradient
+*accumulation order* into leaves shared with ops outside the pattern —
+is gated by the compiler's trace-time validation replay, which discards
+any plan whose gradients are not bit-identical to the eager step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.compiler.recorder import TapeNode
+
+_T = "repro.autograd.tensor"
+_F = "repro.autograd.functional"
+_K = "repro.kernels.fused"
+
+#: Activation nodes that can cap a linear_act pattern.
+_ACT_OPS = {
+    (_F, "silu"): "silu",
+    (_F, "selu"): "selu",
+    (_F, "relu"): "relu",
+    (_F, "tanh"): "tanh",
+    (_F, "sigmoid"): "sigmoid",
+    (_F, "softplus"): "softplus",
+}
+
+
+class Rewrite:
+    """A matched pattern: member slots to subsume and the synthetic node."""
+
+    __slots__ = ("members", "node")
+
+    def __init__(self, members: Set[int], node: TapeNode):
+        self.members = members
+        self.node = node
+
+
+def _synthetic(root: TapeNode, name: str, parents, fv, meta) -> TapeNode:
+    return TapeNode(
+        root.slot, (_K, name), tuple(parents), fv, meta, root.out, root.requires_grad
+    )
+
+
+def _interior_ok(g, members: Set[int]) -> bool:
+    """Interior members (all but the root, which is max(members)) must be
+    consumed only inside the pattern and must not be protected."""
+    root = max(members)
+    for slot in members:
+        if slot == root:
+            continue
+        if g.protected(slot):
+            return False
+        if any(c not in members for c in g.consumers_of(slot)):
+            return False
+    return True
+
+
+def _scalar(value) -> Optional[float]:
+    arr = np.asarray(value)
+    if arr.size != 1:
+        return None
+    return float(arr.reshape(()))
+
+
+# --------------------------------------------------------------------------- #
+# linear_act: act(x @ W + b)
+# --------------------------------------------------------------------------- #
+def match_linear_act(root_slot: int, g) -> Optional[Rewrite]:
+    """Match matmul(+bias)(+activation) chains onto the fused ``linear_act``."""
+    root = g.node(root_slot)
+    if root is None:
+        return None
+    act = _ACT_OPS.get(root.op)
+    if act is not None:
+        if len(root.parents) != 1:
+            return None
+        inner_slot = g.parents(root)[0]
+        members = {root_slot}
+    elif root.op == (_T, "Tensor.__add__") and len(root.parents) == 2:
+        act, inner_slot, members = "identity", root_slot, set()
+    else:
+        return None
+
+    inner = g.node(inner_slot)
+    if inner is None:
+        return None
+    if inner.op == (_T, "Tensor.__add__") and len(inner.parents) == 2:
+        mm_slot, bias_slot = g.parents(inner)
+        members |= {root_slot, inner_slot}
+    elif inner.op == (_T, "Tensor.__matmul__") and act != "identity":
+        mm_slot, bias_slot = inner_slot, None
+        members |= {root_slot}
+    else:
+        return None
+
+    mm = g.node(mm_slot)
+    if mm is None or mm.op != (_T, "Tensor.__matmul__") or len(mm.parents) != 2:
+        return None
+    x_slot, w_slot = g.parents(mm)
+    if g.ndim(x_slot) < 2 or g.ndim(w_slot) != 2:
+        return None
+    if bias_slot is not None and g.shape(bias_slot) != (g.shape(w_slot)[1],):
+        return None
+    members.add(mm_slot)
+    if not _interior_ok(g, members):
+        return None
+    parents = (x_slot, w_slot) if bias_slot is None else (x_slot, w_slot, bias_slot)
+    meta = {"act": act, "owns_buffers": True}
+    return Rewrite(members, _synthetic(root, "linear_act", parents, {}, meta))
+
+
+# --------------------------------------------------------------------------- #
+# softmax_cross_entropy: -(log_softmax(z)[arange(n), y].sum() * (1/n))
+# --------------------------------------------------------------------------- #
+def match_softmax_cross_entropy(root_slot: int, g) -> Optional[Rewrite]:
+    """Match the log-softmax NLL composition onto ``softmax_cross_entropy``."""
+    root = g.node(root_slot)
+    if root is None or root.op != (_T, "Tensor.__neg__"):
+        return None
+    mul_slot = g.parents(root)[0]
+    mul = g.node(mul_slot)
+    if mul is None or mul.op != (_T, "Tensor.__mul__") or len(mul.parents) != 1:
+        return None
+    inv_n = _scalar(mul.fv.get("other_a"))
+    if inv_n is None:
+        return None
+    sum_slot = g.parents(mul)[0]
+    s = g.node(sum_slot)
+    if (
+        s is None
+        or s.op != (_T, "Tensor.sum")
+        or s.fv.get("axis") is not None
+        or s.fv.get("keepdims")
+    ):
+        return None
+    pick_slot = g.parents(s)[0]
+    pick = g.node(pick_slot)
+    if pick is None or pick.op != (_T, "Tensor.__getitem__"):
+        return None
+    index = pick.fv.get("index")
+    if (
+        not isinstance(index, tuple)
+        or len(index) != 2
+        or not all(
+            isinstance(i, np.ndarray) and np.issubdtype(i.dtype, np.integer)
+            for i in index
+        )
+    ):
+        return None
+    lsm_slot = g.parents(pick)[0]
+    lsm = g.node(lsm_slot)
+    if lsm is None or lsm.op != (_F, "log_softmax"):
+        return None
+    logits_slot = g.parents(lsm)[0]
+    shape = g.shape(logits_slot)
+    if len(shape) != 2 or shape[0] == 0:
+        return None
+    n = shape[0]
+    axis = lsm.fv.get("axis")
+    if axis not in (-1, 1):
+        return None
+    rows, targets = index
+    if inv_n != 1.0 / n or rows.shape != (n,) or not np.array_equal(
+        rows, np.arange(n)
+    ):
+        return None
+    members = {root_slot, mul_slot, sum_slot, pick_slot, lsm_slot}
+    if not _interior_ok(g, members):
+        return None
+    node = _synthetic(
+        root, "softmax_cross_entropy", (logits_slot,), {"targets": targets}, None
+    )
+    return Rewrite(members, node)
+
+
+# --------------------------------------------------------------------------- #
+# rms_norm: x / sqrt((x*x).mean(-1, keepdims=True) + eps) * w
+# --------------------------------------------------------------------------- #
+def match_rms_norm(root_slot: int, g) -> Optional[Rewrite]:
+    """Match the mean-square/rsqrt normalization chain onto ``rms_norm``."""
+    root = g.node(root_slot)
+    if root is None or root.op != (_T, "Tensor.__mul__") or len(root.parents) != 2:
+        return None
+    div_slot, w_slot = g.parents(root)
+    div = g.node(div_slot)
+    if div is None or div.op != (_T, "Tensor.__truediv__") or len(div.parents) != 2:
+        return None
+    x_slot, sqrt_slot = g.parents(div)
+    sqrt = g.node(sqrt_slot)
+    if sqrt is None or sqrt.op != (_F, "sqrt"):
+        return None
+    addc_slot = g.parents(sqrt)[0]
+    addc = g.node(addc_slot)
+    if addc is None or addc.op != (_T, "Tensor.__add__") or len(addc.parents) != 1:
+        return None
+    eps = _scalar((addc.meta or {}).get("const"))
+    if eps is None:
+        return None
+    mulc_slot = g.parents(addc)[0]
+    mulc = g.node(mulc_slot)
+    if mulc is None or mulc.op != (_T, "Tensor.__mul__") or len(mulc.parents) != 1:
+        return None
+    inv_d = _scalar(mulc.fv.get("other_a"))
+    sum_slot = g.parents(mulc)[0]
+    s = g.node(sum_slot)
+    if (
+        s is None
+        or s.op != (_T, "Tensor.sum")
+        or s.fv.get("axis") != -1
+        or not s.fv.get("keepdims")
+    ):
+        return None
+    sq_slot = g.parents(s)[0]
+    sq = g.node(sq_slot)
+    if (
+        sq is None
+        or sq.op != (_T, "Tensor.__mul__")
+        or g.parents(sq) != (x_slot, x_slot)
+    ):
+        return None
+    shape = g.shape(x_slot)
+    if not shape or inv_d != 1.0 / shape[-1] or g.shape(w_slot) != (shape[-1],):
+        return None
+    members = {root_slot, div_slot, sqrt_slot, addc_slot, mulc_slot, sum_slot, sq_slot}
+    if not _interior_ok(g, members):
+        return None
+    meta = {"eps": eps, "owns_buffers": True}
+    return Rewrite(members, _synthetic(root, "rms_norm", (x_slot, w_slot), {}, meta))
+
+
+# --------------------------------------------------------------------------- #
+# 1:1 swaps: reference gather/scatter primitives onto their fused twins
+# --------------------------------------------------------------------------- #
+def match_index_select(root_slot: int, g) -> Optional[Rewrite]:
+    """Route reference ``index_select`` nodes through the fused gather kernel."""
+    root = g.node(root_slot)
+    if root is None or root.op != (_F, "index_select"):
+        return None
+    if g.ndim(g.parents(root)[0]) > 2:  # fused contract: row-flat scatter
+        return None
+    index = root.fv.get("index")
+    if not isinstance(index, np.ndarray):
+        return None
+    node = _synthetic(
+        root, "index_select", (g.parents(root)[0],), {"index": index}, None
+    )
+    return Rewrite({root_slot}, node)
+
+
+def match_segment_sum(root_slot: int, g) -> Optional[Rewrite]:
+    """Route reference ``segment_sum`` nodes through the bincount scatter kernel."""
+    root = g.node(root_slot)
+    if root is None or root.op != (_F, "segment_sum"):
+        return None
+    if g.ndim(g.parents(root)[0]) > 2:
+        return None
+    segment_ids = root.fv.get("segment_ids")
+    if not isinstance(segment_ids, np.ndarray):
+        return None
+    node = _synthetic(
+        root,
+        "segment_sum",
+        (g.parents(root)[0],),
+        {"segment_ids": segment_ids},
+        None,
+    )
+    return Rewrite({root_slot}, node)
+
+
+#: Match order per root: multi-node chains first, then 1:1 swaps.
+PATTERNS: List = [
+    match_linear_act,
+    match_softmax_cross_entropy,
+    match_rms_norm,
+    match_index_select,
+    match_segment_sum,
+]

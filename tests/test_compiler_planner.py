@@ -1,0 +1,337 @@
+"""Memory-planner properties, plan-cache key stability, and the
+owns-buffers regression (in-place fused kernels must never be arena-hosted).
+
+Property bar:
+
+* **exclusivity** — no two slots whose liveness intervals overlap may
+  share an arena buffer, over both random fuzz programs and the real
+  pretraining step;
+* **economy** — the planned peak (pinned + arena) never exceeds the
+  planner's eager accounting of the same graph, and on the real pretrain
+  step stays under the live-tensor high-water mark an :class:`OpProfiler`
+  observes for the eager step;
+* **stability** — plan-cache keys are content-addressed (shapes, dtypes,
+  bytes, param signature), so two separate processes building the same
+  task + batch from the same seed derive the same key — no ``id()`` or
+  enumeration-order dependence;
+* **ownership** — ops that declared ``owns_buffers`` (fused kernels whose
+  backward reads buffers mutated in place during forward, e.g. the
+  in-place-silu ``linear_act``) are excluded from arena assignment, so a
+  reused buffer can never be scribbled over before the backward reads it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    compiled_training_step,
+    get_plan_cache,
+    plan_key,
+    reset_plan_cache,
+    trace_function,
+    use_compiled,
+)
+from repro.data.batching import collate_graphs
+from repro.data.transforms import StructureToGraph
+from repro.datasets import SymmetryPointCloudDataset
+from repro.kernels.dispatch import use_fused
+from repro.models import EGNN
+from repro.observability.opprofile import OpProfiler
+from repro.tasks import MultiClassClassificationTask
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from test_compiler_fuzz import _build_leaves, _execute, generate  # noqa: E402
+
+pytestmark = pytest.mark.compile
+
+_FUSED_MOD = "repro.kernels.fused"
+_INPLACE_FUSED = {"linear_act", "rms_norm", "layer_norm"}
+
+
+def _make_task(seed: int = 5, dropout: float = 0.2) -> MultiClassClassificationTask:
+    rng = np.random.default_rng(seed)
+    enc = EGNN(hidden_dim=10, num_layers=2, position_dim=4, num_species=4, rng=rng)
+    return MultiClassClassificationTask(
+        enc,
+        num_classes=4,
+        hidden_dim=8,
+        num_blocks=1,
+        dropout=dropout,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+def _make_batch(seed: int = 5, n: int = 8):
+    ds = SymmetryPointCloudDataset(n, seed=seed, group_names=["C1", "C2", "C4", "D2"])
+    tf = StructureToGraph(cutoff=2.5)
+    return collate_graphs([tf(ds[i]) for i in range(n)])
+
+
+def _trace_step(task, batch, rewrite: bool = True):
+    def fn():
+        loss, _, outputs = task.training_step_traced(batch)
+        return loss, outputs
+
+    return trace_function(fn, rewrite=rewrite)
+
+
+def _assert_exclusive(memory) -> None:
+    """No two live intervals may share a buffer (closed-interval overlap)."""
+    by_buffer = {}
+    for slot, buffer_index in memory.assignments.items():
+        by_buffer.setdefault(buffer_index, []).append(memory.intervals[slot])
+    for buffer_index, intervals in by_buffer.items():
+        intervals.sort()
+        for (b0, e0), (b1, e1) in zip(intervals, intervals[1:]):
+            assert e0 < b1 or e1 < b0, (
+                f"buffer {buffer_index}: intervals [{b0},{e0}] and "
+                f"[{b1},{e1}] overlap"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Exclusivity + economy over random programs
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_no_live_interval_shares_a_buffer_fuzz(seed):
+    desc = generate(seed)
+    leaves = _build_leaves(desc, seed)
+    result = trace_function(lambda: _execute(desc, leaves), rewrite=True)
+    memory = result.plan.memory
+    _assert_exclusive(memory)
+    assert memory.plan_peak <= memory.eager_peak
+
+
+# --------------------------------------------------------------------------- #
+# The real pretraining step
+# --------------------------------------------------------------------------- #
+
+
+class TestPretrainStepPlan:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        task = _make_task()
+        batch = _make_batch()
+        with use_fused(True):
+            result = _trace_step(task, batch)
+        return task, batch, result
+
+    def test_arena_is_nonempty(self, traced):
+        _, _, result = traced
+        memory = result.plan.memory
+        assert memory.assignments, "planner assigned nothing on the hot step"
+        assert memory.arena_bytes > 0
+
+    def test_exclusive_buffers(self, traced):
+        _, _, result = traced
+        _assert_exclusive(result.plan.memory)
+
+    def test_plan_peak_never_exceeds_eager_accounting(self, traced):
+        _, _, result = traced
+        memory = result.plan.memory
+        assert memory.plan_peak <= memory.eager_peak
+
+    def test_plan_peak_below_profiled_eager_watermark(self, traced):
+        task, batch, result = traced
+        with use_fused(True):
+            with OpProfiler() as prof:
+                loss, _ = task.training_step(batch)
+                loss.backward()
+        task.zero_grad()
+        assert prof.peak_live_bytes > 0
+        assert result.plan.memory.plan_peak <= prof.peak_live_bytes, (
+            f"planned peak {result.plan.memory.plan_peak} exceeds the eager "
+            f"live-tensor watermark {prof.peak_live_bytes}"
+        )
+
+
+def test_parallel_branches_share_one_buffer():
+    """Disjoint liveness means real reuse: three parallel ``x + y`` branches,
+    each dead the moment its reduction consumes it, must share one arena
+    buffer — and the replay must still be bitwise."""
+    from repro.autograd import Tensor
+    from repro.compiler import validate_plan
+
+    rng = np.random.default_rng(17)
+    leaves = [Tensor(rng.uniform(-1, 1, size=(6, 5)), requires_grad=True)
+              for _ in range(6)]
+
+    def fn():
+        s1 = (leaves[0] + leaves[1]).sum()
+        s2 = (leaves[2] + leaves[3]).sum()
+        s3 = (leaves[4] + leaves[5]).sum()
+        return s1 + s2 + s3
+
+    result = trace_function(fn, rewrite=False)
+    memory = result.plan.memory
+    matrix_assignments = {
+        slot: b
+        for slot, b in memory.assignments.items()
+        if memory.buffers[b][0] == (6, 5)
+    }
+    assert len(matrix_assignments) == 3, memory.assignments
+    assert len(set(matrix_assignments.values())) == 1, (
+        f"expected one shared (6, 5) buffer, got {matrix_assignments}"
+    )
+    assert memory.plan_peak < memory.eager_peak
+    result.loss.backward()
+    assert validate_plan(result.plan, result.loss, result.outputs)
+
+
+# --------------------------------------------------------------------------- #
+# owns_buffers: the in-place fused kernel regression
+# --------------------------------------------------------------------------- #
+
+
+class TestOwnsBuffers:
+    def test_fused_trace_pins_inplace_kernels(self):
+        """Kernels that mutate buffers in place (linear_act's in-place silu)
+        declare ownership; the planner must never arena-host their outputs."""
+        task = _make_task()
+        batch = _make_batch()
+        with use_fused(True):
+            result = _trace_step(task, batch)
+        fused_slots = [
+            slot
+            for slot in result.plan.program.order
+            if result.plan.program.entries[slot].op[0] == _FUSED_MOD
+            and result.plan.program.entries[slot].op[1] in _INPLACE_FUSED
+        ]
+        assert fused_slots, "expected fused kernels on the fused-mode tape"
+        for slot in fused_slots:
+            assert slot not in result.plan.memory.assignments, (
+                f"in-place fused node at slot {slot} was arena-assigned"
+            )
+
+    def test_rewritten_trace_pins_synthetic_fused_nodes(self):
+        """Fusion rewrites of a reference-mode tape synthesize the same
+        kernels; their ownership must carry over."""
+        task = _make_task()
+        batch = _make_batch()
+        with use_fused(False):
+            result = _trace_step(task, batch, rewrite=True)
+        synthetic = [
+            slot
+            for slot in result.plan.program.order
+            if result.plan.program.entries[slot].op[0] == _FUSED_MOD
+            and result.plan.program.entries[slot].op[1] in _INPLACE_FUSED
+        ]
+        assert synthetic, "expected fusion rewrites on the reference tape"
+        for slot in synthetic:
+            assert slot not in result.plan.memory.assignments
+
+
+# --------------------------------------------------------------------------- #
+# Plan-cache key stability across processes
+# --------------------------------------------------------------------------- #
+
+_KEY_SCRIPT = """
+import numpy as np
+from repro.compiler import plan_key
+from repro.data.batching import collate_graphs
+from repro.data.transforms import StructureToGraph
+from repro.datasets import SymmetryPointCloudDataset
+from repro.models import EGNN
+from repro.tasks import MultiClassClassificationTask
+
+rng = np.random.default_rng(5)
+enc = EGNN(hidden_dim=10, num_layers=2, position_dim=4, num_species=4, rng=rng)
+task = MultiClassClassificationTask(
+    enc, num_classes=4, hidden_dim=8, num_blocks=1, dropout=0.2,
+    rng=np.random.default_rng(6),
+)
+ds = SymmetryPointCloudDataset(8, seed=5, group_names=["C1", "C2", "C4", "D2"])
+tf = StructureToGraph(cutoff=2.5)
+batch = collate_graphs([tf(ds[i]) for i in range(8)])
+print(plan_key(task, batch))
+"""
+
+
+def _subprocess_key() -> str:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", _KEY_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout.strip()
+
+
+class TestPlanKeyStability:
+    def test_identical_across_processes(self):
+        first = _subprocess_key()
+        second = _subprocess_key()
+        assert first and first == second
+
+    def test_matches_in_process_key(self):
+        task = _make_task()
+        batch = _make_batch()
+        assert plan_key(task, batch) == _subprocess_key()
+
+    def test_key_tracks_batch_content(self):
+        task = _make_task()
+        assert plan_key(task, _make_batch(seed=5)) != plan_key(
+            task, _make_batch(seed=6)
+        )
+
+    def test_key_tracks_param_shapes_not_values(self):
+        batch = _make_batch()
+        a, b = _make_task(seed=5), _make_task(seed=9)
+        # Different init values, same architecture: the plan replays the
+        # recorded leaf tensors, so keys may not depend on param *values* --
+        # but both tasks share every shape, so the keys must collide.
+        assert plan_key(a, batch) == plan_key(b, batch)
+
+
+# --------------------------------------------------------------------------- #
+# Cache-hit replay equality through the dispatch layer
+# --------------------------------------------------------------------------- #
+
+
+class TestCompiledStepCache:
+    def test_replay_hits_match_eager_twin_stepwise(self):
+        """Same batch repeated: step 1 traces, steps 2-3 replay from cache.
+
+        Dropout draws from the module's live rng stream each step, so the
+        reference is an identically seeded eager twin advancing the same
+        stream — every step must agree bitwise on loss, metrics, and every
+        parameter gradient, hits included.
+        """
+        reset_plan_cache()
+        compiled, eager = _make_task(), _make_task()
+        batch = _make_batch()
+        with use_fused(True):
+            for step in range(3):
+                compiled.zero_grad()
+                eager.zero_grad()
+                with use_compiled(True):
+                    loss_c, metrics_c = compiled_training_step(compiled, batch)
+                loss_e, metrics_e = eager.training_step(batch)
+                loss_e.backward()
+                assert loss_c.data.tobytes() == loss_e.data.tobytes(), step
+                assert metrics_c == metrics_e, step
+                for (name, pc), (_, pe) in zip(
+                    compiled.named_parameters(), eager.named_parameters()
+                ):
+                    if pe.grad is None:
+                        assert pc.grad is None, (step, name)
+                    else:
+                        assert pc.grad.tobytes() == pe.grad.tobytes(), (
+                            step, name,
+                        )
+        stats = get_plan_cache().stats()
+        assert stats["traces"] == 1 and stats["hits"] == 2, stats
+        assert stats["validation_failures"] == 0, stats
+        reset_plan_cache()

@@ -128,6 +128,70 @@ class TestGoldenPretrainZero:
         assert loss == pytest.approx(GOLDEN_PRETRAIN_TRAIN_LOSS, abs=TOL)
 
 
+@pytest.mark.compile
+class TestGoldenPretrainCompiled:
+    """The ``--compile`` variant must reproduce the *eager* goldens exactly.
+
+    Every cached plan survived a bitwise validation replay before use, and
+    every non-compilable step ran eagerly, so the compiled run is pinned to
+    the same constants as the plain run — not to separately captured
+    values.  A drift here means a plan replayed something the eager tape
+    would not have computed.
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.compiler import get_plan_cache, reset_plan_cache
+
+        reset_plan_cache()
+        config = _pretrain_config()
+        config.compile = True
+        outcome = pretrain_symmetry(config)
+        stats = get_plan_cache().stats()
+        reset_plan_cache()
+        return outcome, stats
+
+    def test_final_val_cross_entropy(self, result):
+        ce = result[0].history.last("val", "ce")
+        assert ce == pytest.approx(GOLDEN_PRETRAIN_VAL_CE, abs=TOL)
+
+    def test_final_val_accuracy(self, result):
+        acc = result[0].history.last("val", "acc")
+        assert acc == pytest.approx(GOLDEN_PRETRAIN_VAL_ACC, abs=TOL)
+
+    def test_final_train_loss(self, result):
+        loss = result[0].history.last("train", "loss")
+        assert loss == pytest.approx(GOLDEN_PRETRAIN_TRAIN_LOSS, abs=TOL)
+
+    def test_compiler_actually_engaged(self, result):
+        stats = result[1]
+        assert stats["traces"] > 0, stats
+        assert stats["validation_failures"] == 0, stats
+        assert stats["taints"] == 0, stats
+
+
+@pytest.mark.compile
+class TestGoldenFinetuneCompiled:
+    """Compiled fine-tuning is pinned to the same eager goldens (see above)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.compiler import reset_plan_cache
+
+        reset_plan_cache()
+        config = _finetune_config()
+        config.compile = True
+        outcome = train_band_gap(config)
+        reset_plan_cache()
+        return outcome
+
+    def test_final_mae(self, result):
+        assert result.final_mae == pytest.approx(GOLDEN_FINETUNE_FINAL_MAE, abs=TOL)
+
+    def test_best_mae(self, result):
+        assert result.best_mae == pytest.approx(GOLDEN_FINETUNE_BEST_MAE, abs=TOL)
+
+
 class TestGoldenFinetune:
     @pytest.fixture(scope="class")
     def result(self):
