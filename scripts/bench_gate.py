@@ -14,8 +14,10 @@ Suites: ``hotpaths`` (fused kernels + caching, vs
 vs ``benchmarks/BENCH_sharding.json``), ``serving`` (micro-batched
 goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``),
 ``resilience`` (replicated-pool availability under seeded chaos, vs
-``benchmarks/BENCH_resilience.json``), and ``compile`` (tape-compiler
-plan replay vs the eager step, vs ``benchmarks/BENCH_compile.json``).
+``benchmarks/BENCH_resilience.json``), ``compile`` (tape-compiler
+plan replay vs the eager step, vs ``benchmarks/BENCH_compile.json``),
+and ``screening`` (batched vs one-at-a-time candidate throughput, vs
+``benchmarks/BENCH_screening.json``).
 
 Speedup ratios are gated by default (machine-portable); absolute times
 only with ``--absolute`` since they don't transfer across machines.
@@ -36,6 +38,7 @@ from benchmarks import (  # noqa: E402
     bench_compile,
     bench_hotpaths,
     bench_resilience,
+    bench_screening,
     bench_serving,
     bench_sharding,
 )
@@ -56,6 +59,10 @@ SUITES = {
         os.path.join(_BENCH_DIR, "BENCH_resilience.json"),
     ),
     "compile": (bench_compile, os.path.join(_BENCH_DIR, "BENCH_compile.json")),
+    "screening": (
+        bench_screening,
+        os.path.join(_BENCH_DIR, "BENCH_screening.json"),
+    ),
 }
 
 

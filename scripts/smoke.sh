@@ -11,6 +11,8 @@
 #                      CLI smoke under a seeded chaos profile
 #   SMOKE_LANE=compile tape-compiler suite (-m compile) plus a --compile
 #                      CLI smoke and the compiler bench gate
+#   SMOKE_LANE=screen  screening suite (-m screen) plus a repro-screen CLI
+#                      smoke and the screening bench gate
 #   SMOKE_LANE=full    the whole suite, markers included
 #
 # Scenario suites run on demand: -m fault / -m stability / -m profile.
@@ -96,11 +98,30 @@ compile)
     PYTHONPATH=src:. python scripts/bench_gate.py --suite compile
     exit 0
     ;;
+screen)
+    PYTHONPATH=src python -m pytest -x -q -m screen "$@"
+    # End to end: bootstrap-train the demo servable, then screen a small
+    # candidate stream through it — sharded and with a relaxation step —
+    # and check the ranked report comes out.
+    REGISTRY="$(mktemp -d /tmp/smoke-registry.XXXXXX)"
+    trap 'rm -rf "$REGISTRY"' EXIT
+    PYTHONPATH=src python -m repro.cli predict \
+        --registry "$REGISTRY" --bootstrap --samples 2 >/dev/null
+    SCREEN_OUT="$(PYTHONPATH=src python -m repro.cli screen \
+        --registry "$REGISTRY" --n-candidates 32 --top-k 4 \
+        --batch-size 8 --shards 2 --relax-steps 1 --base-samples 8)"
+    grep -q "screened 32 candidates" <<<"$SCREEN_OUT"
+    grep -q "top-4:" <<<"$SCREEN_OUT"
+    echo "screening smoke ok"
+    # Gate the screening bench against its committed baseline.
+    PYTHONPATH=src:. python scripts/bench_gate.py --suite screening
+    exit 0
+    ;;
 full)
     PYTHONPATH=src python -m pytest -x -q "$@"
     ;;
 *)
-    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|compile|full)" >&2
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|compile|screen|full)" >&2
     exit 2
     ;;
 esac

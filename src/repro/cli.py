@@ -13,6 +13,8 @@ experiments can be driven without writing Python:
     python -m repro.cli serve --registry /tmp/reg --rate 400 --requests 64
     python -m repro.cli serve --registry /tmp/reg --replicas 3 \
         --chaos-profile replica_crash:1,replica_slow:1
+    python -m repro.cli screen --registry /tmp/reg --bootstrap \
+        --n-candidates 256 --top-k 8 --relax-steps 2
     python -m repro.cli registry verify --registry /tmp/reg
 """
 
@@ -373,6 +375,44 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_screen(args) -> int:
+    """High-throughput screening: generate -> (relax) -> predict -> rank.
+
+    Streams seeded element-swap/strain mutations of known crystals
+    through the servable's batch-invariant forward and keeps a
+    deterministic top-k (DESIGN.md §15).  ``--shards``/``--batch-size``
+    change throughput only — the ranking is bit-identical across layouts.
+    """
+    from repro.observability import Observer
+    from repro.screening import ScreenConfig, run_screening
+
+    servable = _load_serving_model(args)
+    config = ScreenConfig(
+        n_candidates=args.n_candidates,
+        top_k=args.top_k,
+        batch_size=args.batch_size,
+        relax_steps=args.relax_steps,
+        num_shards=args.shards,
+        seed=args.screen_seed,
+        base_samples=args.base_samples,
+    )
+    print(f"model: {args.model} (target {servable.spec.target}, "
+          f"encoder {servable.spec.encoder_name})")
+    print(f"screening {config.n_candidates} candidates "
+          f"(batch {config.batch_size}, {config.num_shards} shard"
+          f"{'s' if config.num_shards != 1 else ''}, "
+          f"{config.relax_steps} relax steps, seed {config.seed})")
+    observer = Observer()
+    result = run_screening(servable, config, observer=observer)
+    print(result.summary())
+    print()
+    print(observer.metrics_table())
+    if args.trace_out is not None:
+        observer.export_chrome_trace(args.trace_out)
+        print(f"chrome trace written to {args.trace_out}")
+    return 0
+
+
 def cmd_registry_verify(args) -> int:
     """CRC-audit every servable in a registry; non-zero exit on corruption."""
     from repro.serving import ModelRegistry
@@ -528,6 +568,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hedge a still-unanswered request onto a sibling "
                         "replica after this many milliseconds")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("screen", help="high-throughput candidate screening")
+    _add_serving_args(p)
+    p.add_argument("--n-candidates", type=_positive_int, default=256,
+                   help="candidates to generate and score")
+    p.add_argument("--top-k", type=_positive_int, default=8,
+                   help="ranked winners to keep (O(k) memory)")
+    p.add_argument("--batch-size", type=_positive_int, default=16,
+                   help="prediction batch size (throughput knob only: "
+                        "the ranking is bit-identical for any value)")
+    p.add_argument("--relax-steps", type=int, default=0,
+                   help="force-field descent steps before scoring "
+                        "(0 disables relaxation)")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="partition the candidate stream into N shards "
+                        "(merged ranking == single-shard, bit for bit)")
+    p.add_argument("--screen-seed", type=int, default=0,
+                   help="seed for the candidate stream")
+    p.add_argument("--base-samples", type=_positive_int, default=32,
+                   help="parent crystals in the mutation pool")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a chrome://tracing JSON of the screening spans")
+    p.set_defaults(fn=cmd_screen)
 
     p = sub.add_parser("registry", help="servable registry maintenance")
     reg_sub = p.add_subparsers(dest="registry_command", required=True)

@@ -1,0 +1,126 @@
+"""Deterministic element-swap table over the periodic table.
+
+High-throughput screening mutates known-good crystals by substituting
+chemically *similar* elements (the templating idea behind ionic-radius
+swap tables in crystal-generation pipelines): a swap that replaces Fe
+with Co perturbs the energy landscape gently, one that replaces Fe with
+F does not.  Similarity here is the Euclidean distance between z-scored
+(electronegativity, covalent radius, valence electrons) vectors from
+:mod:`repro.datasets.periodic_table` — the exact properties the
+surrogate DFT engine reads, so "similar" means "similar to the label
+engine", not to a chemist's intuition.
+
+Determinism contract: the table is a pure function of the periodic-table
+constants and the element pool.  Distances are computed in float64 with
+a fixed operation order, and every ordering decision breaks ties by
+atomic number, so two processes (or two machines) always build the same
+table bit for bit — a requirement for sharded screening, where every
+shard rebuilds the table independently (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.periodic_table import MAX_Z, element
+
+
+class SwapTable:
+    """Nearest-neighbour element similarity with a stable total order.
+
+    Parameters
+    ----------
+    element_pool:
+        Atomic numbers the table covers; swaps never leave the pool.
+        Defaults to the full table (1..MAX_Z).
+    num_neighbors:
+        Neighbours kept per element, most-similar first.
+    """
+
+    def __init__(
+        self,
+        element_pool: Optional[Sequence[int]] = None,
+        num_neighbors: int = 8,
+    ):
+        pool = tuple(sorted(set(int(z) for z in (element_pool or range(1, MAX_Z + 1)))))
+        if len(pool) < 2:
+            raise ValueError("element pool must contain at least 2 elements")
+        if not 1 <= num_neighbors <= len(pool) - 1:
+            raise ValueError(
+                f"num_neighbors must be in 1..{len(pool) - 1}, got {num_neighbors}"
+            )
+        self.element_pool = pool
+        self.num_neighbors = int(num_neighbors)
+        self._features = self._build_features(pool)
+        self._neighbors = self._build_neighbors()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_features(pool: Tuple[int, ...]) -> Dict[int, np.ndarray]:
+        """z-scored (electronegativity, radius, valence) per pool element.
+
+        Standardizing over the pool puts the three properties on one
+        scale; ``std`` is floored so a degenerate pool (all radii equal,
+        say) cannot divide by zero.
+        """
+        raw = np.array(
+            [
+                (
+                    element(z).electronegativity,
+                    element(z).covalent_radius,
+                    float(element(z).valence_electrons),
+                )
+                for z in pool
+            ],
+            dtype=np.float64,
+        )
+        mean = raw.mean(axis=0)
+        std = np.maximum(raw.std(axis=0), 1e-12)
+        scored = (raw - mean) / std
+        return {z: scored[i] for i, z in enumerate(pool)}
+
+    def _build_neighbors(self) -> Dict[int, Tuple[int, ...]]:
+        table: Dict[int, Tuple[int, ...]] = {}
+        for z in self.element_pool:
+            others = [o for o in self.element_pool if o != z]
+            # Sort by (distance, atomic number): ties in distance —
+            # possible when two elements share all three properties —
+            # resolve identically in every process.
+            ranked = sorted(others, key=lambda o: (self.distance(z, o), o))
+            table[z] = tuple(ranked[: self.num_neighbors])
+        return table
+
+    # ------------------------------------------------------------------ #
+    def distance(self, a: int, b: int) -> float:
+        """Similarity distance between two pool elements (symmetric, >= 0)."""
+        try:
+            va, vb = self._features[int(a)], self._features[int(b)]
+        except KeyError as exc:
+            raise KeyError(f"element {exc.args[0]} not in the swap pool") from exc
+        delta = va - vb
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    def neighbors(self, z: int) -> Tuple[int, ...]:
+        """The ``num_neighbors`` most similar pool elements, best first."""
+        try:
+            return self._neighbors[int(z)]
+        except KeyError:
+            raise KeyError(f"element {int(z)} not in the swap pool")
+
+    def __contains__(self, z: int) -> bool:
+        return int(z) in self._neighbors
+
+    def __len__(self) -> int:
+        return len(self.element_pool)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the whole table (pool + every neighbour list)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(np.array(self.element_pool, dtype=np.int64).tobytes())
+        for z in self.element_pool:
+            h.update(np.array(self._neighbors[z], dtype=np.int64).tobytes())
+        return h.hexdigest()[:16]

@@ -32,6 +32,9 @@ MARKERS = [
     "compile: tape-compiler scenarios (differential fuzzing, memory "
     "planner properties, compiled golden/DDP equivalence); select with "
     "-m compile",
+    "screen: high-throughput screening scenarios (swap table, candidate "
+    "generation, streaming top-k, batched/sharded bit-identity); select "
+    "with -m screen",
 ]
 
 

@@ -199,6 +199,53 @@ class TestSuiteRegistration:
         assert by_name["compile.cache.hit_rate"]["value"] > 0.5
         assert by_name["compile.plan.peak_ratio"]["value"] <= 1.0
 
+    def test_screening_suite_registered(self, gate_script):
+        assert "screening" in gate_script.SUITES
+        module, baseline = gate_script.SUITES["screening"]
+        assert baseline.endswith("BENCH_screening.json")
+        assert hasattr(module, "collect_results")
+        assert hasattr(module, "print_results")
+
+    def test_committed_screening_baseline_gates_throughput_gain(self, gate_script):
+        _, baseline = gate_script.SUITES["screening"]
+        payload = load_bench_json(baseline)
+        by_name = {r["name"]: r for r in payload["results"]}
+        gain = by_name["screen.throughput.gain"]
+        assert gain["kind"] == "speedup"  # gated by default
+        # The acceptance bar: batched candidate scoring beats one-at-a-time
+        # by >2x — and because both arms run under batch-invariant kernels
+        # the bit-identity flag must ride along at exactly 1.0.
+        assert gain["value"] > 2.0
+        assert by_name["screen.bit_identical"]["value"] == 1.0
+        assert by_name["screen.cand_per_sec.batched"]["kind"] == "metric"
+
+    def _screening_shaped_results(self, gain=3.0):
+        return [
+            bench_result("screen.throughput.gain", "speedup", gain, "x"),
+            bench_result("screen.bit_identical", "metric", 1.0, "bool"),
+        ]
+
+    def test_screening_missing_baseline_bootstraps(self, tmp_path, capsys):
+        # A fresh checkout running `--suite screening` before the baseline
+        # lands must bootstrap-and-pass, not crash.
+        path = tmp_path / "BENCH_screening.json"
+        assert run_gate(self._screening_shaped_results(), str(path)) == EXIT_PASS
+        assert path.exists()
+        assert "bootstrapped" in capsys.readouterr().out
+
+    def test_screening_malformed_baseline_is_usage_error(self, tmp_path):
+        path = tmp_path / "BENCH_screening.json"
+        path.write_text('{"schema": "repro-bench-v1", "results": [{"name"')
+        assert run_gate(self._screening_shaped_results(), str(path)) == EXIT_USAGE
+
+    def test_screening_gain_regression_fails(self, tmp_path):
+        path = tmp_path / "BENCH_screening.json"
+        write_bench_json(str(path), self._screening_shaped_results(gain=3.0))
+        assert (
+            run_gate(self._screening_shaped_results(gain=1.0), str(path))
+            == EXIT_REGRESSION
+        )
+
     def test_resilience_suite_registered(self, gate_script):
         assert "resilience" in gate_script.SUITES
         module, baseline = gate_script.SUITES["resilience"]
@@ -268,6 +315,24 @@ def test_compile_suite_tiny_replays_from_cache(tmp_path):
     assert by_name["compile.cache.hit_rate"]["value"] > 0.0
     assert by_name["compile.plan.peak_ratio"]["value"] <= 1.0
     path = tmp_path / "BENCH_compile_tiny.json"
+    assert run_gate(results, str(path)) == EXIT_PASS  # bootstrap
+    assert run_gate(results, str(path)) == EXIT_PASS  # self-compare
+
+
+@pytest.mark.screen
+def test_screening_suite_tiny_end_to_end(tmp_path):
+    """The tiny screening suite must hold bit-identity across execution
+    layouts (collect_results raises otherwise) and produce a gateable
+    result set.  The gain *value* is timing-dependent, so only the
+    committed full-size baseline pins it above 2.0."""
+    from benchmarks.bench_screening import collect_results
+
+    results = collect_results(rounds=1, warmup=0, tiny=True)
+    by_name = {r["name"]: r for r in results}
+    assert by_name["screen.throughput.gain"]["kind"] == "speedup"
+    assert by_name["screen.bit_identical"]["value"] == 1.0
+    assert by_name["screen.topk.size"]["value"] > 0
+    path = tmp_path / "BENCH_screening_tiny.json"
     assert run_gate(results, str(path)) == EXIT_PASS  # bootstrap
     assert run_gate(results, str(path)) == EXIT_PASS  # self-compare
 

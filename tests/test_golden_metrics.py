@@ -249,3 +249,64 @@ class TestGoldenServing:
         batched = servable.predict(samples)
         singles = [servable.predict_one(s) for s in samples]
         assert list(batched) == singles  # bit-exact, not approx
+
+
+# Train -> save -> load -> screen: candidate identities pinned exactly,
+# scores at 1e-9.  Captured from the config in TestGoldenScreening below
+# (demo servable seed 13, screen seed 7, 24 candidates over an 8-crystal
+# parent pool).
+GOLDEN_SCREEN_TOPK = [
+    (-0.4277567938644258, "a86591efcd0d2ed5", 12),
+    (-0.4143879273661373, "2bfc0f71acd478a6", 3),
+    (-0.2046561069852586, "6fec78df29b60810", 17),
+    (-0.19365257003874614, "5a2b33938af14dc3", 11),
+]
+
+
+@pytest.mark.screen
+class TestGoldenScreening:
+    """Fixed-seed train -> registry -> screen pipeline, pinned end to end.
+
+    Everything between the optimizer and the ranked report sits under
+    these constants: the demo training run, the checkpoint round trip,
+    candidate synthesis (parent draw, swaps, strain), graph preparation,
+    the batch-invariant forward, and the streaming top-k order.  The
+    candidate *identities* (fingerprint, index) must match exactly; the
+    scores at 1e-9.
+    """
+
+    @pytest.fixture(scope="class")
+    def screened(self, tmp_path_factory):
+        from repro.screening import ScreenConfig, run_screening
+        from repro.serving import ModelRegistry
+        from repro.serving.demo import DEMO_MODEL_NAME, fit_demo_servable
+
+        root = str(tmp_path_factory.mktemp("registry"))
+        _, final_mae = fit_demo_servable(root, seed=13)
+        servable = ModelRegistry(root).load(DEMO_MODEL_NAME)
+        config = ScreenConfig(
+            n_candidates=24, top_k=4, batch_size=8, seed=7, base_samples=8
+        )
+        return final_mae, run_screening(servable, config)
+
+    def test_training_side_unchanged(self, screened):
+        final_mae, _ = screened
+        assert final_mae == pytest.approx(GOLDEN_FINETUNE_FINAL_MAE, abs=TOL)
+
+    def test_topk_identities_pinned(self, screened):
+        _, result = screened
+        got = [(e.fingerprint, e.index) for e in result.ranked]
+        assert got == [(fp, i) for _, fp, i in GOLDEN_SCREEN_TOPK]
+
+    def test_topk_scores_pinned(self, screened):
+        _, result = screened
+        scores = [e.score for e in result.ranked]
+        assert scores == pytest.approx(
+            [s for s, _, _ in GOLDEN_SCREEN_TOPK], abs=TOL
+        )
+
+    def test_stream_accounting(self, screened):
+        _, result = screened
+        assert result.candidates == 24
+        assert result.batches == 3
+        assert len(result.ranked) == 4
