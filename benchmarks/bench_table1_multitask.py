@@ -16,11 +16,38 @@ two remaining metrics stay comparable (from-scratch slightly ahead):
 The reproduction runs the same composition (dataset-scoped heads, shared
 encoder, six-block-capacity heads scaled down, the DDP lr-scaling rule, raw
 physical-unit losses) and asserts the winner pattern and rough factors.
+
+This module also hosts the gated *encoder sweep* suite (``bench_gate.py
+--suite table1``): every registered encoder family (egnn, schnet, gaanet,
+megnet) fine-tuned on four dataset/property cells — MP band gap, Carolina
+formation energy, LiPS energy, OC20 energy — pretrained vs from-scratch,
+against the committed ``benchmarks/BENCH_table1.json``.  Training is
+seeded and single-threaded, so the gated pretrain-gain ratios are
+deterministic; the suite ignores ``rounds``/``tiny`` (the workload is
+already CPU-tiny and shrinking it would shift the gated values).
 """
 
 from __future__ import annotations
 
-from benchmarks.common import PAPER_TABLE1, print_header, table1_runs
+import functools
+from typing import Dict, List
+
+import numpy as np
+
+from benchmarks.common import (
+    PAPER_TABLE1,
+    bench_result,
+    print_header,
+    table1_runs,
+)
+from repro.core import (
+    EncoderConfig,
+    FinetuneConfig,
+    OptimizerConfig,
+    PretrainConfig,
+    pretrain_symmetry,
+    train_property,
+)
 from repro.core.workflows import TABLE1_METRICS
 
 LABELS = {
@@ -80,3 +107,137 @@ class TestTable1MultiTask:
         # both errors sit far below every MP regression error.
         assert pre["cmd_eform_mae"] < 0.5
         assert scr["cmd_eform_mae"] < 0.5
+
+
+# --------------------------------------------------------------------------- #
+# Encoder sweep: 4 encoders x 4 dataset/property cells, pretrained vs scratch
+# --------------------------------------------------------------------------- #
+#: Every registered encoder family.
+SWEEP_ENCODERS = ("egnn", "schnet", "gaanet", "megnet")
+
+#: (dataset, target) cells — one per surrogate family the toolkit ships.
+SWEEP_CELLS = (
+    ("materials_project", "band_gap"),
+    ("carolina", "formation_energy"),
+    ("lips", "energy"),
+    ("oc20", "energy"),
+)
+
+#: Shared tiny geometry: every arm of every cell uses the same encoder
+#: size and seeds, so only the encoder family and the init differ.
+SWEEP_HIDDEN, SWEEP_LAYERS, SWEEP_SEED = 16, 2, 31
+
+
+def _sweep_encoder_config(name: str) -> EncoderConfig:
+    return EncoderConfig(
+        name=name,
+        hidden_dim=SWEEP_HIDDEN,
+        num_layers=SWEEP_LAYERS,
+        position_dim=6,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _sweep_pretrained_state(name: str):
+    """Symmetry-pretrain one tiny encoder of the given family (memoized)."""
+    config = PretrainConfig(
+        encoder=_sweep_encoder_config(name),
+        optimizer=OptimizerConfig(
+            base_lr=3e-3, warmup_epochs=1, gamma=0.95, weight_decay=1e-4
+        ),
+        train_samples=96,
+        val_samples=24,
+        world_size=1,
+        batch_per_worker=16,
+        max_epochs=3,
+        head_hidden_dim=SWEEP_HIDDEN,
+        head_blocks=2,
+        seed=SWEEP_SEED,
+        radius_range=(1.5, 4.0),
+        max_points=16,
+    )
+    return pretrain_symmetry(config).task.encoder_state()
+
+
+def _sweep_finetune_config(name: str, dataset: str, target: str) -> FinetuneConfig:
+    return FinetuneConfig(
+        encoder=_sweep_encoder_config(name),
+        optimizer=OptimizerConfig(base_lr=1e-3, warmup_epochs=1, gamma=0.9),
+        dataset=dataset,
+        target=target,
+        train_samples=48,
+        val_samples=16,
+        batch_size=8,
+        max_epochs=3,
+        world_size=4,
+        head_hidden_dim=SWEEP_HIDDEN,
+        head_blocks=2,
+        seed=11,
+    )
+
+
+def collect_results(rounds: int = 5, warmup: int = 1, tiny: bool = False) -> List[Dict]:
+    """The 4x4 pretrained-vs-scratch table as gateable results.
+
+    ``rounds``/``warmup``/``tiny`` are accepted for gate-driver parity but
+    deliberately unused: every cell is one seeded, deterministic training
+    run, and resizing it under ``--tiny`` would shift the gated ratios
+    away from the committed baseline.
+    """
+    del rounds, warmup, tiny
+    results: List[Dict] = []
+    for name in SWEEP_ENCODERS:
+        state = _sweep_pretrained_state(name)
+        ratios = []
+        for dataset, target in SWEEP_CELLS:
+            cfg = _sweep_finetune_config(name, dataset, target)
+            scratch = train_property(cfg).final_mae
+            pretrained = train_property(cfg, pretrained_state=state).final_mae
+            ratios.append(scratch / max(pretrained, 1e-9))
+            cell = f"table1.{name}.{dataset}"
+            detail = f"{target} MAE, {name} on {dataset}"
+            results.append(
+                bench_result(
+                    f"{cell}.pretrained_mae", "metric", pretrained, "eV",
+                    detail=f"{detail} (pretrained)",
+                )
+            )
+            results.append(
+                bench_result(
+                    f"{cell}.scratch_mae", "metric", scratch, "eV",
+                    detail=f"{detail} (from scratch)",
+                )
+            )
+        # Geometric mean of the per-cell scratch/pretrained MAE ratios:
+        # the one number per encoder the gate holds steady (deterministic
+        # seeded training, so regressions here are real behaviour changes,
+        # not machine noise).
+        gain = float(np.prod(ratios) ** (1.0 / len(ratios)))
+        results.append(
+            bench_result(
+                f"table1.{name}.pretrain_gain", "speedup", gain, "x",
+                detail=f"geomean scratch/pretrained MAE over {len(ratios)} cells",
+            )
+        )
+    return results
+
+
+def print_results(results: List[Dict]) -> None:
+    by_name = {r["name"]: r for r in results}
+    print_header(
+        "Table 1 sweep: 4 encoders x 4 datasets, pretrained vs from-scratch MAE"
+    )
+    header = f"{'encoder':<8}" + "".join(
+        f" {dataset:>22}" for dataset, _ in SWEEP_CELLS
+    ) + f" {'gain':>6}"
+    print(header)
+    for name in SWEEP_ENCODERS:
+        cells = []
+        for dataset, _ in SWEEP_CELLS:
+            pre = by_name[f"table1.{name}.{dataset}.pretrained_mae"]["value"]
+            scr = by_name[f"table1.{name}.{dataset}.scratch_mae"]["value"]
+            cells.append(f" {pre:>10.3f}/{scr:<11.3f}")
+        gain = by_name[f"table1.{name}.pretrain_gain"]["value"]
+        print(f"{name:<8}" + "".join(cells) + f" {gain:>5.2f}x")
+    print("\ncells are pretrained/scratch validation MAE; gain is the geomean "
+          "scratch/pretrained ratio per encoder")

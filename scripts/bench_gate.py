@@ -16,8 +16,9 @@ goodput at a fixed SLO, vs ``benchmarks/BENCH_serving.json``),
 ``resilience`` (replicated-pool availability under seeded chaos, vs
 ``benchmarks/BENCH_resilience.json``), ``compile`` (tape-compiler
 plan replay vs the eager step, vs ``benchmarks/BENCH_compile.json``),
-and ``screening`` (batched vs one-at-a-time candidate throughput, vs
-``benchmarks/BENCH_screening.json``).
+``screening`` (batched vs one-at-a-time candidate throughput, vs
+``benchmarks/BENCH_screening.json``), and ``table1`` (the 4-encoder x
+4-dataset pretrained-vs-scratch sweep, vs ``benchmarks/BENCH_table1.json``).
 
 Speedup ratios are gated by default (machine-portable); absolute times
 only with ``--absolute`` since they don't transfer across machines.
@@ -41,6 +42,7 @@ from benchmarks import (  # noqa: E402
     bench_screening,
     bench_serving,
     bench_sharding,
+    bench_table1_multitask,
 )
 from benchmarks.common import write_bench_json  # noqa: E402
 from benchmarks.gate import DEFAULT_THRESHOLD, EXIT_USAGE, run_gate  # noqa: E402
@@ -62,6 +64,10 @@ SUITES = {
     "screening": (
         bench_screening,
         os.path.join(_BENCH_DIR, "BENCH_screening.json"),
+    ),
+    "table1": (
+        bench_table1_multitask,
+        os.path.join(_BENCH_DIR, "BENCH_table1.json"),
     ),
 }
 

@@ -13,6 +13,8 @@
 #                      CLI smoke and the compiler bench gate
 #   SMOKE_LANE=screen  screening suite (-m screen) plus a repro-screen CLI
 #                      smoke and the screening bench gate
+#   SMOKE_LANE=megnet  MEGNet suite (-m megnet) plus a --encoder megnet
+#                      finetune CLI smoke and the Table-1 bench gate
 #   SMOKE_LANE=full    the whole suite, markers included
 #
 # Scenario suites run on demand: -m fault / -m stability / -m profile.
@@ -117,11 +119,31 @@ screen)
     PYTHONPATH=src:. python scripts/bench_gate.py --suite screening
     exit 0
     ;;
+megnet)
+    PYTHONPATH=src python -m pytest -x -q -m megnet "$@"
+    # End to end: the fourth encoder family must pretrain and finetune
+    # from the CLI (finetune on a non-default dataset, reporting its
+    # dataset/target line).
+    PRETRAIN_OUT="$(PYTHONPATH=src python -m repro.cli pretrain \
+        --encoder megnet --steps 3 --samples 16 --world-size 2 \
+        --hidden-dim 12 --layers 2 --epochs 1)"
+    grep -q "val" <<<"$PRETRAIN_OUT"
+    MEGNET_OUT="$(PYTHONPATH=src python -m repro.cli finetune \
+        --encoder megnet --dataset carolina --target formation_energy \
+        --samples 24 --hidden-dim 12 --layers 2 --epochs 1)"
+    grep -q "dataset: carolina" <<<"$MEGNET_OUT"
+    grep -q "val MAE" <<<"$MEGNET_OUT"
+    grep -q "final " <<<"$MEGNET_OUT"
+    echo "megnet smoke ok"
+    # Gate the 4-encoder Table-1 sweep against its committed baseline.
+    PYTHONPATH=src:. python scripts/bench_gate.py --suite table1
+    exit 0
+    ;;
 full)
     PYTHONPATH=src python -m pytest -x -q "$@"
     ;;
 *)
-    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|compile|screen|full)" >&2
+    echo "unknown SMOKE_LANE: $LANE (expected default|profile|bench|shard|serve|chaos|compile|screen|megnet|full)" >&2
     exit 2
     ;;
 esac

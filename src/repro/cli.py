@@ -35,8 +35,8 @@ from repro.core import (
     cached_pretrained_encoder,
     explore_datasets,
     pretrain_symmetry,
-    train_band_gap,
     train_multitask,
+    train_property,
     transfer_pretrain_recipe,
 )
 from repro.core.pipeline import build_encoder_from_config
@@ -53,7 +53,9 @@ def _encoder_config(args) -> EncoderConfig:
 
 
 def _add_model_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--encoder", default="egnn", choices=["egnn", "gaanet", "schnet"])
+    parser.add_argument(
+        "--encoder", default="egnn", choices=["egnn", "gaanet", "megnet", "schnet"]
+    )
     parser.add_argument("--hidden-dim", type=int, default=32)
     parser.add_argument("--layers", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
@@ -153,6 +155,7 @@ def cmd_finetune(args) -> int:
     cfg = FinetuneConfig(
         encoder=_encoder_config(args),
         optimizer=OptimizerConfig(base_lr=args.lr, warmup_epochs=args.warmup),
+        dataset=args.dataset,
         target=args.target,
         train_samples=args.samples,
         val_samples=max(args.samples // 4, 16),
@@ -172,8 +175,8 @@ def cmd_finetune(args) -> int:
         recipe = transfer_pretrain_recipe()
         recipe.encoder = cfg.encoder
         state = cached_pretrained_encoder(recipe)
-    result = train_band_gap(cfg, pretrained_state=state)
-    print(f"target: {cfg.target}")
+    result = train_property(cfg, pretrained_state=state)
+    print(f"dataset: {cfg.dataset}, target: {cfg.target}")
     for epoch, mae in enumerate(result.curve_mae, start=1):
         print(f"  epoch {epoch:3d}: val MAE {mae:.4f}")
     print(f"final {result.final_mae:.4f}, best {result.best_mae:.4f}")
@@ -490,8 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("finetune", help="single-task fine-tuning (Fig. 5)")
     _add_model_args(p)
     p.add_argument("--samples", type=int, default=160)
+    p.add_argument("--dataset", default="materials_project",
+                   choices=["materials_project", "carolina", "lips", "oc20", "oc22"],
+                   help="registered dataset to fine-tune on (Table 1 sweep)")
     p.add_argument("--target", default="band_gap",
-                   choices=["band_gap", "fermi_energy", "formation_energy"])
+                   choices=["band_gap", "fermi_energy", "formation_energy", "energy"])
     p.add_argument("--world-size", type=int, default=16)
     p.add_argument("--warmup", type=int, default=2)
     p.add_argument("--pretrained", action="store_true")

@@ -605,6 +605,13 @@ def _build_gather_pair_concat(node, resolve):
     )
 
 
+def _build_lstm_cell(node, resolve):
+    x, h, c, w_x, w_h, b = (resolve(p) for p in node.parents)
+    return lambda slots: fused.lstm_cell(
+        slots[x], slots[h], slots[c], slots[w_x], slots[w_h], slots[b]
+    )
+
+
 def _build_mul_segment_sum(node, resolve):
     a, b = (resolve(p) for p in node.parents)
     segment_ids = _fv(node, "segment_ids")
@@ -656,6 +663,10 @@ _register(
 _register(
     MOD_FUSED, "mul_segment_sum", build=_build_mul_segment_sum, reads_inputs=True,
     cse_args=lambda node: (id(node.fv.get("segment_ids")), node.out_shape[0]),
+)
+_register(
+    MOD_FUSED, "lstm_cell", build=_build_lstm_cell, reads_inputs=True,
+    cse_args=lambda node: (),
 )
 
 

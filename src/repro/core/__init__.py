@@ -25,6 +25,7 @@ from repro.core.workflows import (
     pretrain_symmetry,
     FinetuneResult,
     train_band_gap,
+    train_property,
     MultiTaskResult,
     train_multitask,
     explore_datasets,
@@ -48,6 +49,7 @@ __all__ = [
     "pretrain_symmetry",
     "FinetuneResult",
     "train_band_gap",
+    "train_property",
     "MultiTaskResult",
     "train_multitask",
     "explore_datasets",

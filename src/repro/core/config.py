@@ -138,6 +138,10 @@ class FinetuneConfig:
 
     encoder: EncoderConfig = field(default_factory=EncoderConfig)
     optimizer: OptimizerConfig = field(default_factory=lambda: OptimizerConfig(base_lr=1e-3))
+    #: Registered dataset name (repro.datasets.DATASET_REGISTRY) — the
+    #: Table-1 bench sweeps this over materials_project / carolina / lips /
+    #: oc20 while the Fig. 5 default stays Materials Project.
+    dataset: str = "materials_project"
     target: str = "band_gap"
     train_samples: int = 256
     val_samples: int = 64

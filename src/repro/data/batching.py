@@ -140,6 +140,13 @@ def collate_graphs(
     edge_attr = None
     if all(s.edge_attr is not None for s in samples):
         edge_attr = _concat_rows([s.edge_attr for s in samples], buffers, "edge_attr")
+    global_attr = None
+    if all(s.global_attr is not None for s in samples):
+        global_attr = _concat_rows(
+            [np.atleast_1d(s.global_attr)[None, :] for s in samples],
+            buffers,
+            "global_attr",
+        )
     metadata = {"num_nodes_per_graph": np.array([s.num_nodes for s in samples])}
     # Preserve sample provenance when present (multi-dataset batches).
     if all("dataset" in s.metadata for s in samples):
@@ -152,6 +159,7 @@ def collate_graphs(
         node_graph=node_graph,
         num_graphs=len(samples),
         edge_attr=edge_attr,
+        global_attr=global_attr,
         targets=_stack_targets(samples),
         metadata=metadata,
     )

@@ -87,7 +87,9 @@ class GraphSample:
 
     ``edge_src``/``edge_dst`` index into the sample's own nodes; directed
     edges, with both directions present for undirected connectivity.
-    ``edge_attr`` optionally carries per-edge features a_ij.
+    ``edge_attr`` optionally carries per-edge features a_ij;
+    ``global_attr`` an optional per-graph state vector u, shape (gdim,)
+    (the MEGNet global stream's input).
     """
 
     positions: np.ndarray
@@ -95,6 +97,7 @@ class GraphSample:
     edge_src: np.ndarray
     edge_dst: np.ndarray
     edge_attr: Optional[np.ndarray] = None
+    global_attr: Optional[np.ndarray] = None
     targets: Dict[str, np.ndarray] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
 
@@ -120,6 +123,8 @@ class GraphBatch:
 
     ``node_graph`` maps each node to its graph index (0..num_graphs-1), the
     segment ids for sum pooling.  ``targets`` hold stacked per-graph labels.
+    ``global_attr`` stacks the samples' per-graph state vectors u into
+    (num_graphs, gdim) when every sample carries one.
     """
 
     positions: np.ndarray
@@ -129,6 +134,7 @@ class GraphBatch:
     node_graph: np.ndarray
     num_graphs: int
     edge_attr: Optional[np.ndarray] = None
+    global_attr: Optional[np.ndarray] = None
     targets: Dict[str, np.ndarray] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
 

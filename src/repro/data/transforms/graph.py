@@ -103,6 +103,35 @@ def periodic_radius_graph(
     )
 
 
+#: Width of the canonical per-graph state vector u.
+GLOBAL_FEATURE_DIM = 4
+
+
+def global_state_features(species: np.ndarray) -> np.ndarray:
+    """Canonical composition descriptor for the MEGNet global stream.
+
+    A structure-level summary computed from the graph's own species only —
+    log atom count, mean/spread of atomic number, species diversity — so
+    the same graph yields bit-identical u whether prepared alone or inside
+    a batch (the serving bit-identity contract).  Both
+    :class:`StructureToGraph` (``global_features=True``) and the MEGNet
+    encoder's in-model fallback call this one function, keeping the two
+    paths interchangeable.
+    """
+    z = np.asarray(species, dtype=np.float64)
+    if z.size == 0:
+        return np.zeros(GLOBAL_FEATURE_DIM, dtype=np.float64)
+    return np.array(
+        [
+            np.log1p(float(z.size)),
+            z.mean() / 10.0,
+            z.std() / 10.0,
+            len(np.unique(z)) / 10.0,
+        ],
+        dtype=np.float64,
+    )
+
+
 class StructureToPointCloud(Transform):
     """Strip a structure down to the point-cloud representation."""
 
@@ -135,17 +164,22 @@ class StructureToGraph(Transform):
         k: Optional[int] = None,
         center: bool = True,
         cache=None,
+        global_features: bool = False,
     ):
         if k is not None and k < 1:
             raise ValueError("k must be >= 1")
         self.cutoff = cutoff
         self.k = k
         self.center = center
+        self.global_features = global_features
         self._cache = resolve_cache(cache)
 
     def fingerprint(self) -> str:
-        """Identity covering cutoff, k, and centring (repr omits center)."""
-        return f"StructureToGraph(cutoff={self.cutoff}, k={self.k}, center={self.center})"
+        """Identity covering cutoff, k, centring, and the global-u flag."""
+        return (
+            f"StructureToGraph(cutoff={self.cutoff}, k={self.k}, "
+            f"center={self.center}, global_features={self.global_features})"
+        )
 
     def _build_edges(self, pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         if self.k is not None:
@@ -169,6 +203,11 @@ class StructureToGraph(Transform):
             species=structure.species.copy(),
             edge_src=src,
             edge_dst=dst,
+            global_attr=(
+                global_state_features(structure.species)
+                if self.global_features
+                else None
+            ),
             targets=dict(structure.targets),
             metadata=dict(structure.metadata),
         )

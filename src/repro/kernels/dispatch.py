@@ -170,3 +170,16 @@ def segment_sum(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     if _FUSED and isinstance(x, Tensor) and x.data.ndim <= 2:
         return fused.segment_sum(x, segment_ids, num_segments)
     return reference.segment_sum(x, segment_ids, num_segments)
+
+
+def lstm_cell(x, h, c, w_x, w_h, b) -> Tensor:
+    """One LSTM step; returns ``concat([h', c'], axis=1)``.  Fused
+    contract: all six operands are Tensors and the state is 2-D."""
+    if (
+        _FUSED
+        and all(isinstance(t, Tensor) for t in (x, h, c, w_x, w_h, b))
+        and h.data.ndim == 2
+        and x.data.ndim == 2
+    ):
+        return fused.lstm_cell(x, h, c, w_x, w_h, b)
+    return reference.lstm_cell(x, h, c, w_x, w_h, b)

@@ -394,6 +394,56 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     return Tensor._make(out_data, (x,), backward)
 
 
+def lstm_cell(
+    x: Tensor, h: Tensor, c: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor
+) -> Tensor:
+    """One LSTM step as a single tape node (~16 in the reference).
+
+    Output is ``concat([h', c'], axis=1)``; the i/f/g/o gate layout matches
+    the reference composition.  The backward replays the reference chain's
+    firing order — concat slices, the o/tanh(c') product, the cell update,
+    then one gate-gradient scatter per slice into the pre-activation buffer
+    before the three GEMM backwards — so every leaf gradient is bitwise
+    equal to the ``REPRO_FUSED=0`` tape.
+    """
+    d = h.data.shape[1]
+    x_data, h_data, c_data = x.data, h.data, c.data
+    wx_data, wh_data = w_x.data, w_h.data
+    z = stable_matmul(x_data, wx_data)
+    z = z + stable_matmul(h_data, wh_data)
+    z += b.data  # in-place on the fresh sum, same bits as the reference add
+    i_out = _sigmoid_fwd(z[:, :d])[0]
+    f_out = _sigmoid_fwd(z[:, d : 2 * d])[0]
+    g_out = np.tanh(z[:, 2 * d : 3 * d])
+    o_out = _sigmoid_fwd(z[:, 3 * d :])[0]
+    c_next = f_out * c_data + i_out * g_out
+    t_out = np.tanh(c_next)
+    h_next = o_out * t_out
+    out_data = np.concatenate([h_next, c_next], axis=1)
+
+    def backward(g: np.ndarray) -> None:
+        gh = g[:, :d]
+        gc = g[:, d : 2 * d].copy()
+        gc += gh * o_out * (1.0 - t_out * t_out)
+        dgates = np.zeros((g.shape[0], 4 * d), dtype=np.float64)
+        dgates[:, 3 * d :] = gh * t_out * o_out * (1.0 - o_out)
+        dgates[:, d : 2 * d] = gc * c_data * f_out * (1.0 - f_out)
+        dgates[:, : d] = gc * g_out * i_out * (1.0 - i_out)
+        dgates[:, 2 * d : 3 * d] = gc * i_out * (1.0 - g_out * g_out)
+        # The reference accumulates four zero-filled scatters into the gate
+        # buffer; the zero additions fold any -0.0 slice values to +0.0,
+        # which direct slice assignment alone would not.
+        dgates += 0.0
+        c._accumulate_owned(gc * f_out)
+        b._accumulate(dgates)
+        x._accumulate_owned(stable_matmul(dgates, np.swapaxes(wx_data, -1, -2)))
+        w_x._accumulate_owned(stable_matmul(np.swapaxes(x_data, -1, -2), dgates))
+        h._accumulate_owned(stable_matmul(dgates, np.swapaxes(wh_data, -1, -2)))
+        w_h._accumulate_owned(stable_matmul(np.swapaxes(h_data, -1, -2), dgates))
+
+    return Tensor._make(out_data, (x, h, c, w_x, w_h, b), backward)
+
+
 def mul_segment_sum(
     a: Tensor, b: Tensor, segment_ids: np.ndarray, num_segments: int
 ) -> Tensor:

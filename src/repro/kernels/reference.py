@@ -92,3 +92,25 @@ def gather_pair_concat(h: Tensor, src: np.ndarray, dst: np.ndarray, tails) -> Te
 def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Reference segment reduction (``np.add.at`` forward)."""
     return F.segment_sum(x, segment_ids, num_segments)
+
+
+def lstm_cell(
+    x: Tensor, h: Tensor, c: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor
+) -> Tensor:
+    """Reference LSTM cell: one step of gated state update (~16 tape nodes).
+
+    Gate pre-activations are ``x @ w_x + h @ w_h + b`` with the i/f/g/o
+    layout along columns (input, forget, candidate, output — each ``d``
+    wide, ``d = h.shape[1]``).  Returns ``concat([h', c'], axis=1)`` so the
+    cell is a single tape node output in the fused path; callers slice the
+    halves apart.
+    """
+    d = h.shape[1]
+    gates = x @ w_x + h @ w_h + b
+    i = F.sigmoid(gates[:, :d])
+    f = F.sigmoid(gates[:, d : 2 * d])
+    g = F.tanh(gates[:, 2 * d : 3 * d])
+    o = F.sigmoid(gates[:, 3 * d :])
+    c_next = f * c + i * g
+    h_next = o * F.tanh(c_next)
+    return F.concat([h_next, c_next], axis=1)

@@ -10,6 +10,7 @@ by task output heads.
 from repro.models.encoder import Encoder, EncoderOutput
 from repro.models.egnn import EGNN, EGCL
 from repro.models.gaanet import GeometricAttentionEncoder
+from repro.models.megnet import MEGNet, MEGNetBlock, Set2Set
 from repro.models.schnet import SchNet
 from repro.models.registry import ENCODER_REGISTRY, build_encoder
 
@@ -19,6 +20,9 @@ __all__ = [
     "EGNN",
     "EGCL",
     "GeometricAttentionEncoder",
+    "MEGNet",
+    "MEGNetBlock",
+    "Set2Set",
     "SchNet",
     "ENCODER_REGISTRY",
     "build_encoder",

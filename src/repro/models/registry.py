@@ -7,12 +7,14 @@ from typing import Callable, Dict
 from repro.models.egnn import EGNN
 from repro.models.encoder import Encoder
 from repro.models.gaanet import GeometricAttentionEncoder
+from repro.models.megnet import MEGNet
 from repro.models.schnet import SchNet
 
 ENCODER_REGISTRY: Dict[str, Callable[..., Encoder]] = {
     "egnn": EGNN,
     "gaanet": GeometricAttentionEncoder,
     "schnet": SchNet,
+    "megnet": MEGNet,
 }
 
 

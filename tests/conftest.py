@@ -35,6 +35,8 @@ MARKERS = [
     "screen: high-throughput screening scenarios (swap table, candidate "
     "generation, streaming top-k, batched/sharded bit-identity); select "
     "with -m screen",
+    "megnet: MEGNet encoder scenarios (global-state stream, Set2Set "
+    "readout, zero-edge parity); select with -m megnet",
 ]
 
 

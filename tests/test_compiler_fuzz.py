@@ -3,7 +3,8 @@
 A seeded random-program generator builds small autograd graphs over the
 compiler's supported vocabulary — broadcasting binaries, size-1 dims,
 empty batches, shared subexpressions, unused outputs, dropout, linear
-chains that fusion targets — and every program is run twice:
+chains that fusion targets, lstm_cell recurrences — and every program is
+run twice:
 
 * **identity arm** (``rewrite=False``): CSE + DCE + the memory arena only.
   These passes are bitwise-preserving by construction, so the compiled
@@ -33,6 +34,7 @@ import pytest
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.compiler import trace_function, validate_plan
+from repro.kernels import dispatch as K
 from repro.kernels.dispatch import use_fused
 
 pytestmark = pytest.mark.compile
@@ -149,6 +151,11 @@ def _execute(desc: Desc, leaves: Dict[int, Tensor]):
             out = z if act == "identity" else _ACTS[act](z)
         elif kind == "concat":
             out = F.concat([a, vals[args[1]]], axis=0)
+        elif kind == "lstm_cell":
+            out = K.lstm_cell(
+                a, vals[args[1]], vals[args[2]],
+                vals[args[3]], vals[args[4]], vals[args[5]],
+            )
         elif kind == "index_select":
             out = F.index_select(a, np.asarray(params["index"]))
         elif kind == "segment_sum":
@@ -239,6 +246,21 @@ def generate(seed: int) -> Desc:
                 int(rng.integers(5))
             ]
             emit("linear", (a, w_id, b_id), {"act": act}, (shapes[a][0], e))
+        elif roll < 0.45:  # lstm_cell recurrence (the MEGNet readout core)
+            a = pick(lambda s: len(s) == 2)
+            if a is None:
+                continue
+            n, din = shapes[a]
+            d = int(rng.integers(1, 4))
+            h_id = leaf((n, d))
+            c_id = leaf((n, d))
+            wx_id = leaf((din, 4 * d))
+            wh_id = leaf((d, 4 * d))
+            b_id = leaf((4 * d,))
+            emit(
+                "lstm_cell", (a, h_id, c_id, wx_id, wh_id, b_id), {},
+                (n, 2 * d),
+            )
         elif roll < 0.50:  # structure ops on 2-D values
             a = pick(lambda s: len(s) == 2 and s[0] > 0)
             if a is None:

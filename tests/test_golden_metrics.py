@@ -25,6 +25,7 @@ from repro.core import (
     PretrainConfig,
     pretrain_symmetry,
     train_band_gap,
+    train_property,
 )
 
 TOL = 1e-9
@@ -249,6 +250,109 @@ class TestGoldenServing:
         batched = servable.predict(samples)
         singles = [servable.predict_one(s) for s in samples]
         assert list(batched) == singles  # bit-exact, not approx
+
+
+# MEGNet goldens: the same tiny pretrain/finetune geometry as above but
+# through the fourth encoder family — the global-state stream, every MEGNet
+# block update, lstm_cell, and the Set2Set readout all feed these numbers.
+GOLDEN_MEGNET_PRETRAIN_VAL_CE = 1.4113584214581039
+GOLDEN_MEGNET_PRETRAIN_VAL_ACC = 0.125
+GOLDEN_MEGNET_PRETRAIN_TRAIN_LOSS = 1.5139880900931555
+GOLDEN_MEGNET_FINETUNE_FINAL_MAE = 0.8779672699687657
+GOLDEN_MEGNET_FINETUNE_BEST_MAE = 0.8779672699687657
+
+
+def _megnet_pretrain_config() -> PretrainConfig:
+    config = _pretrain_config()
+    config.encoder = EncoderConfig(
+        name="megnet", hidden_dim=16, num_layers=2, position_dim=4
+    )
+    return config
+
+
+def _megnet_finetune_config() -> FinetuneConfig:
+    config = _finetune_config()
+    config.encoder = EncoderConfig(
+        name="megnet", hidden_dim=16, num_layers=2, position_dim=4
+    )
+    return config
+
+
+@pytest.mark.megnet
+class TestGoldenMEGNetPretrain:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return pretrain_symmetry(_megnet_pretrain_config())
+
+    def test_final_val_cross_entropy(self, result):
+        ce = result.history.last("val", "ce")
+        assert ce == pytest.approx(GOLDEN_MEGNET_PRETRAIN_VAL_CE, abs=TOL)
+
+    def test_final_val_accuracy(self, result):
+        acc = result.history.last("val", "acc")
+        assert acc == pytest.approx(GOLDEN_MEGNET_PRETRAIN_VAL_ACC, abs=TOL)
+
+    def test_final_train_loss(self, result):
+        loss = result.history.last("train", "loss")
+        assert loss == pytest.approx(GOLDEN_MEGNET_PRETRAIN_TRAIN_LOSS, abs=TOL)
+
+
+@pytest.mark.megnet
+class TestGoldenMEGNetFinetune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return train_property(_megnet_finetune_config())
+
+    def test_final_mae(self, result):
+        assert result.final_mae == pytest.approx(
+            GOLDEN_MEGNET_FINETUNE_FINAL_MAE, abs=TOL
+        )
+
+    def test_best_mae(self, result):
+        assert result.best_mae == pytest.approx(
+            GOLDEN_MEGNET_FINETUNE_BEST_MAE, abs=TOL
+        )
+
+
+@pytest.mark.megnet
+@pytest.mark.compile
+class TestGoldenMEGNetPretrainCompiled:
+    """Compiled MEGNet must reproduce the eager goldens via taint-fallback.
+
+    Set2Set's segment_softmax taints every training-step trace, so the
+    compiler never installs a plan for MEGNet — each step falls back to
+    the eager tape it just recorded.  The contract is therefore inverted
+    relative to TestGoldenPretrainCompiled: the metrics are pinned to the
+    same eager constants, and the stats must show the taints were
+    *counted* (fallback happened for the stated reason), not absent.
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.compiler import get_plan_cache, reset_plan_cache
+
+        reset_plan_cache()
+        config = _megnet_pretrain_config()
+        config.compile = True
+        outcome = pretrain_symmetry(config)
+        stats = get_plan_cache().stats()
+        reset_plan_cache()
+        return outcome, stats
+
+    def test_final_val_cross_entropy(self, result):
+        ce = result[0].history.last("val", "ce")
+        assert ce == pytest.approx(GOLDEN_MEGNET_PRETRAIN_VAL_CE, abs=TOL)
+
+    def test_final_train_loss(self, result):
+        loss = result[0].history.last("train", "loss")
+        assert loss == pytest.approx(GOLDEN_MEGNET_PRETRAIN_TRAIN_LOSS, abs=TOL)
+
+    def test_taint_fallback_counted(self, result):
+        stats = result[1]
+        assert stats["traces"] > 0, stats
+        assert stats["taints"] > 0, stats  # Set2Set segment_softmax
+        assert stats["validation_failures"] == 0, stats
+        assert stats["plans"] == 0, stats  # nothing ever got installed
 
 
 # Train -> save -> load -> screen: candidate identities pinned exactly,

@@ -305,6 +305,68 @@ def _build_dropout(rng):
     ), [_data(rng, (3, 3))]
 
 
+# --------------------------------------------------------------------------- #
+# lstm_cell and Set2Set (the MEGNet readout stack)
+# --------------------------------------------------------------------------- #
+def _lstm_inputs(rng, n, din, d):
+    return [
+        _data(rng, (n, din)),
+        _data(rng, (n, d)),
+        _data(rng, (n, d)),
+        _data(rng, (din, 4 * d)),
+        _data(rng, (d, 4 * d)),
+        _data(rng, (4 * d,)),
+    ]
+
+
+@case("lstm_cell")
+def _build_lstm(rng):
+    from repro.kernels import dispatch as K
+
+    return (
+        lambda x, h, c, w_x, w_h, b: K.lstm_cell(x, h, c, w_x, w_h, b)
+    ), _lstm_inputs(rng, 3, 4, 2)
+
+
+@case("lstm_cell-size1")
+def _build_lstm_size1(rng):
+    # Single row and width-1 state: the broadcast-prone corner.
+    from repro.kernels import dispatch as K
+
+    return (
+        lambda x, h, c, w_x, w_h, b: K.lstm_cell(x, h, c, w_x, w_h, b)
+    ), _lstm_inputs(rng, 1, 2, 1)
+
+
+@case("lstm_cell-empty-batch")
+def _build_lstm_empty(rng):
+    from repro.kernels import dispatch as K
+
+    return (
+        lambda x, h, c, w_x, w_h, b: K.lstm_cell(x, h, c, w_x, w_h, b)
+    ), _lstm_inputs(rng, 0, 3, 2)
+
+
+@case("set2set-readout")
+def _build_set2set(rng):
+    from repro.models import Set2Set
+
+    pool = Set2Set(2, processing_steps=2, rng=np.random.default_rng(3))
+    ids = np.array([0, 0, 0, 1, 1])
+    return (lambda x: pool(x, ids, 2)), [_data(rng, (5, 2))]
+
+
+@case("set2set-empty-segment")
+def _build_set2set_empty(rng):
+    # Segment 1 receives no elements: its readout is the pure LSTM query
+    # path, and gradients must still flow through the occupied segments.
+    from repro.models import Set2Set
+
+    pool = Set2Set(2, processing_steps=2, rng=np.random.default_rng(4))
+    ids = np.array([0, 0, 2, 2])
+    return (lambda x: pool(x, ids, 3)), [_data(rng, (4, 2))]
+
+
 @pytest.mark.parametrize("builder", CASES)
 def test_gradcheck_sweep(builder):
     # Seed from the case's position so every id reproduces exactly.

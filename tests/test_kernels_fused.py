@@ -128,6 +128,22 @@ def test_gather_scatter_ops_bitwise(nodes, edges):
         _both_modes(build, seed=nodes * 1000 + edges * 10 + i)
 
 
+@pytest.mark.parametrize("n,din,d", [(4, 6, 3), (1, 2, 1), (0, 4, 2), (5, 1, 4)])
+def test_lstm_cell_bitwise(n, din, d):
+    # Covers the Set2Set driver shapes plus the hostile corners: single
+    # row, width-1 input/state, and the empty batch (zero graphs).
+    def build(rng):
+        x = Tensor(rng.normal(size=(n, din)), requires_grad=True)
+        h = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+        c = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+        w_x = Tensor(rng.normal(size=(din, 4 * d)), requires_grad=True)
+        w_h = Tensor(rng.normal(size=(d, 4 * d)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4 * d,)), requires_grad=True)
+        return K.lstm_cell(x, h, c, w_x, w_h, b), [x, h, c, w_x, w_h, b]
+
+    _both_modes(build, seed=n * 100 + din * 10 + d)
+
+
 # --------------------------------------------------------------------------- #
 # Scatter kernel == np.add.at, bit for bit
 # --------------------------------------------------------------------------- #
@@ -199,6 +215,17 @@ FUSED_OPS = {
     "gather_pair_concat": (
         lambda h, t: K.gather_pair_concat(h, SRC, DST, [t]),
         lambda rng: [rng.normal(size=(4, 3)), rng.normal(size=(6, 2))],
+    ),
+    "lstm_cell": (
+        lambda x, h, c, w_x, w_h, b: K.lstm_cell(x, h, c, w_x, w_h, b),
+        lambda rng: [
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 2)),
+            rng.normal(size=(3, 2)),
+            rng.normal(size=(4, 8)),
+            rng.normal(size=(2, 8)),
+            rng.normal(size=(8,)),
+        ],
     ),
 }
 

@@ -1,0 +1,199 @@
+"""MEGNet encoder: global-state stream, Set2Set readout, invariances."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.tensor import batch_invariant_kernels
+from repro.data import collate_graphs
+from repro.data.transforms import PermuteNodes, StructureToGraph
+from repro.data.transforms.graph import GLOBAL_FEATURE_DIM, global_state_features
+from repro.datasets import SymmetryPointCloudDataset
+from repro.geometry.operations import random_rotation
+from repro.models import MEGNet, Set2Set, build_encoder
+
+pytestmark = pytest.mark.megnet
+
+
+def make_batch(seed=0, n_samples=3, global_features=False):
+    ds = SymmetryPointCloudDataset(
+        n_samples, seed=seed, group_names=["C2", "C4", "D2"], max_points=14
+    )
+    tf = StructureToGraph(cutoff=2.5, global_features=global_features)
+    return collate_graphs([tf(ds[i]) for i in range(n_samples)])
+
+
+class TestSet2Set:
+    def test_output_shape(self, rng):
+        pool = Set2Set(4, processing_steps=2, rng=rng)
+        x = Tensor(rng.normal(size=(6, 4)))
+        out = pool(x, np.array([0, 0, 1, 1, 1, 2]), 3)
+        assert out.shape == (3, 8)
+
+    def test_permutation_invariance(self, rng):
+        # The attention readout is a weighted *sum* over each segment, so
+        # reordering elements within a segment must not change the output
+        # (up to summation-order rounding — np.add.at accumulates in index
+        # order, so this is allclose, not bitwise).
+        pool = Set2Set(3, processing_steps=3, rng=rng)
+        x = rng.normal(size=(7, 3))
+        ids = np.array([0, 0, 0, 0, 1, 1, 1])
+        perm = np.array([3, 1, 0, 2, 6, 4, 5])  # permutes within segments
+        out = pool(Tensor(x), ids, 2)
+        out_perm = pool(Tensor(x[perm]), ids[perm], 2)
+        assert np.allclose(out.data, out_perm.data, atol=1e-12)
+
+    def test_empty_segment_gets_query_only(self, rng):
+        pool = Set2Set(3, processing_steps=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        out = pool(x, np.array([0, 0, 2, 2]), 3)
+        # Segment 1 is empty: its readout half is zero (softmax over an
+        # empty set), its query half is the pure LSTM rollout; all finite.
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data[1, 3:], 0.0)
+
+    def test_validates_steps(self, rng):
+        with pytest.raises(ValueError):
+            Set2Set(4, processing_steps=0, rng=rng)
+
+
+class TestGlobalStateFeatures:
+    def test_canonical_descriptor(self):
+        z = np.array([3, 16, 16, 3])
+        feats = global_state_features(z)
+        assert feats.shape == (GLOBAL_FEATURE_DIM,)
+        assert feats[0] == pytest.approx(np.log1p(4.0))
+        assert feats[3] == pytest.approx(0.2)  # two distinct species
+
+    def test_empty_species(self):
+        assert np.array_equal(
+            global_state_features(np.zeros(0, dtype=np.int64)),
+            np.zeros(GLOBAL_FEATURE_DIM),
+        )
+
+    def test_transform_attaches_and_collates(self):
+        batch = make_batch(global_features=True)
+        assert batch.global_attr is not None
+        assert batch.global_attr.shape == (batch.num_graphs, GLOBAL_FEATURE_DIM)
+
+    def test_pipeline_and_fallback_agree(self, rng):
+        # The encoder must produce the same bits whether u comes from the
+        # data pipeline (global_features=True) or its in-model fallback.
+        model = MEGNet(hidden_dim=8, num_layers=2, num_species=4, rng=rng)
+        with_attr = model(make_batch(seed=5, global_features=True))
+        without = model(make_batch(seed=5, global_features=False))
+        assert np.array_equal(
+            with_attr.graph_embedding.data, without.graph_embedding.data
+        )
+
+
+class TestMEGNet:
+    def test_shapes(self, rng):
+        model = MEGNet(hidden_dim=10, num_layers=2, num_species=4, rng=rng)
+        batch = make_batch()
+        out = model(batch)
+        assert out.graph_embedding.shape == (batch.num_graphs, 10)
+        assert out.node_embedding.shape == (batch.num_nodes, 10)
+        assert out.coordinate_update is None  # invariant encoder
+
+    def test_rotation_translation_invariance(self, rng):
+        model = MEGNet(hidden_dim=8, num_layers=2, num_species=4, rng=rng)
+        batch = make_batch(seed=1)
+        moved = copy.deepcopy(batch)
+        moved.positions = batch.positions @ random_rotation(rng).T + 3.0
+        assert np.allclose(
+            model(batch).graph_embedding.data,
+            model(moved).graph_embedding.data,
+            atol=1e-9,
+        )
+
+    def test_permutation_invariance(self, rng):
+        model = MEGNet(hidden_dim=8, num_layers=1, num_species=4, rng=rng)
+        ds = SymmetryPointCloudDataset(1, seed=4, group_names=["C4"], max_points=12)
+        tf = StructureToGraph(cutoff=2.5)
+        sample = tf(ds[0])
+        permuted = PermuteNodes(rng)(sample)
+        assert np.allclose(
+            model(collate_graphs([sample])).graph_embedding.data,
+            model(collate_graphs([permuted])).graph_embedding.data,
+            atol=1e-9,
+        )
+
+    def test_edgeless_batch(self, rng):
+        # The SchNet PR-6 bug class: a graph with no edges must still run
+        # every block update (no early exit) and stay finite.
+        model = MEGNet(hidden_dim=8, num_layers=2, num_species=4, rng=rng)
+        batch = make_batch()
+        batch.edge_src = np.zeros(0, dtype=np.int64)
+        batch.edge_dst = np.zeros(0, dtype=np.int64)
+        out = model(batch)
+        assert np.all(np.isfinite(out.graph_embedding.data))
+
+    def test_zero_edge_graph_batched_equals_single(self, rng):
+        # A single-atom (edgeless) graph must embed bit-identically alone
+        # and inside a batch with edge-carrying neighbours.  Bitwise parity
+        # across batch compositions is the serving contract and holds
+        # under batch_invariant_kernels (plain BLAS picks different GEMM
+        # reduction orders for different row counts).
+        model = MEGNet(hidden_dim=8, num_layers=2, num_species=4, rng=rng)
+        ds = SymmetryPointCloudDataset(
+            3, seed=6, group_names=["C2", "C4", "D2"], max_points=14
+        )
+        tf = StructureToGraph(cutoff=2.5)
+        samples = [tf(ds[i]) for i in range(3)]
+        lone = copy.deepcopy(samples[1])
+        lone.positions = lone.positions[:1]
+        lone.species = lone.species[:1]
+        lone.edge_src = np.zeros(0, dtype=np.int64)
+        lone.edge_dst = np.zeros(0, dtype=np.int64)
+        with batch_invariant_kernels():
+            single = model(collate_graphs([lone])).graph_embedding.data
+            batched = model(
+                collate_graphs([samples[0], lone, samples[2]])
+            ).graph_embedding.data
+        assert np.array_equal(batched[1], single[0])
+
+    def test_gradients_flow_including_global_stream(self, rng):
+        model = MEGNet(hidden_dim=8, num_layers=2, num_species=4, rng=rng)
+        out = model(make_batch(seed=2))
+        (out.graph_embedding * out.graph_embedding).sum().backward()
+        grads = {name: p.grad for name, p in model.named_parameters()}
+        assert all(g is not None for g in grads.values())
+        # The global stream is live, not decorative: its embedding and
+        # every block's global MLP receive nonzero gradient.
+        for name, g in grads.items():
+            if "global" in name:
+                assert np.any(g != 0.0), f"dead global-stream parameter {name}"
+
+    def test_registry(self, rng):
+        assert isinstance(build_encoder("megnet", hidden_dim=8, rng=rng), MEGNet)
+
+    def test_validates_layers(self, rng):
+        with pytest.raises(ValueError):
+            MEGNet(num_layers=0, rng=rng)
+
+    def test_trains_on_regression(self, rng):
+        from repro import nn
+        from repro.autograd import functional as F
+        from repro.optim import AdamW
+
+        model = MEGNet(hidden_dim=12, num_layers=2, num_species=4, rng=rng)
+        head = nn.Linear(12, 1, rng=rng)
+        batch = make_batch(seed=3, n_samples=6)
+        target = np.linspace(-1, 1, 6)
+        opt = AdamW(
+            list(model.parameters()) + list(head.parameters()),
+            lr=5e-3,
+            weight_decay=0.0,
+        )
+        losses = []
+        for _ in range(60):
+            pred = head(model(batch).graph_embedding).squeeze(-1)
+            loss = F.mse_loss(pred, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.3 * losses[0]

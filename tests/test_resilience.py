@@ -513,7 +513,7 @@ def build_servable(encoder_name: str) -> Servable:
 
 
 @pytest.mark.parametrize("fused_mode", [True, False])
-@pytest.mark.parametrize("encoder_name", ["egnn", "schnet", "gaanet"])
+@pytest.mark.parametrize("encoder_name", ["egnn", "schnet", "gaanet", "megnet"])
 def test_failover_preserves_bit_identity(encoder_name, fused_mode):
     from repro.serving.demo import demo_request_samples
 

@@ -27,7 +27,7 @@ from repro.serving import Servable, ServableSpec
 
 pytestmark = pytest.mark.screen
 
-ENCODERS = ["egnn", "schnet", "gaanet"]
+ENCODERS = ["egnn", "schnet", "gaanet", "megnet"]
 NUM_CANDIDATES = 6
 BASE_SAMPLES = 4
 

@@ -37,7 +37,7 @@ DATASETS = [
     ("lips", "energy"),
     ("oc20", "energy"),
 ]
-ENCODERS = ["egnn", "schnet", "gaanet"]
+ENCODERS = ["egnn", "schnet", "gaanet", "megnet"]
 NUM_SAMPLES = 7
 CUTOFF = 4.5
 
